@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 7 (paging-in isolation).
+
+Run with:  pytest benchmarks/test_fig7_paging_in.py --benchmark-only -s
+
+Uses the scaled-down configuration (1 MB stretches — same steady state,
+shorter populate phase; see EXPERIMENTS.md). The paper-scale run is
+``python -m repro.exp.fig7``.
+"""
+
+from repro.exp import fig7
+from repro.exp.common import small_config
+
+
+def test_fig7_paging_in(benchmark):
+    config = small_config(measure_sec=12.0)
+    result = benchmark.pedantic(fig7.run, args=(config,), rounds=1,
+                                iterations=1)
+    print()
+    print(fig7.format_result(result, trace_window_sec=1.0))
+
+    names = {s: config.app_name(s) for s in (100, 50, 25)}
+    ratios = result.ratios
+    # The headline: progress in ratio very close to 4:2:1.
+    assert 3.5 <= ratios[names[100]] <= 4.5, ratios
+    assert 1.7 <= ratios[names[50]] <= 2.3, ratios
+    assert ratios[names[25]] == 1.0
+    # Transactions are uniform and fast: sequential reads in the cache.
+    for name, stats in result.txn_stats.items():
+        assert stats["mean_ms"] < 4.0, (name, stats)
+    # "the length of any laxity line never exceeds 10ms".
+    assert result.max_lax_ms <= config.laxity_ms + 1e-9
+    # Each client received essentially all of its guaranteed time:
+    # service+lax per second ~= share of the disk.
+    start, end = result.window
+    seconds = (end - start) / 1e9
+    for slice_ms in config.slices_ms:
+        app_stats = result.txn_stats[names[slice_ms]]
+        used = (app_stats["service_ms"] + app_stats["lax_ms"]) / 1000
+        guaranteed = slice_ms / config.period_ms * seconds
+        assert used >= 0.9 * guaranteed, (slice_ms, used, guaranteed)

@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 8 (paging-out isolation).
+
+Run with:  pytest benchmarks/test_fig8_paging_out.py --benchmark-only -s
+"""
+
+from repro.exp import fig8
+from repro.exp.common import small_config
+
+
+def test_fig8_paging_out(benchmark):
+    config = small_config(measure_sec=15.0)
+    result = benchmark.pedantic(fig8.run, args=(config,), rounds=1,
+                                iterations=1)
+    print()
+    print(fig8.format_result(result, trace_window_sec=1.0))
+
+    names = {s: config.app_name(s) for s in (100, 50, 25)}
+    # "the domains once again proceed roughly in proportion":
+    # monotone in the guarantee, and the 4x client gets 3-5x.
+    bw = result.bandwidth_mbit
+    assert bw[names[100]] > bw[names[50]] > bw[names[25]] > 0
+    assert 3.0 <= result.ratios[names[100]] <= 5.0, result.ratios
+    assert 1.5 <= result.ratios[names[50]] <= 2.5, result.ratios
+    # "overall throughput is much reduced": every pure page-out
+    # transaction pays mechanical latency ("on the order of 10ms").
+    for name, stats in result.txn_stats.items():
+        assert 8.0 <= stats["mean_ms"] <= 16.0, (name, stats)
+    # Paging out is several times slower than the ~2 ms cached
+    # paging-in regime of Figure 7 at the same guarantee.
+    assert bw[names[100]] < 4.0, bw
+    # Roll-over accounting: the 25 ms client overruns in some periods
+    # and is visibly debited in the next.
+    evidence = fig8.rollover_evidence(result)
+    assert evidence, "expected overrun periods followed by debits"
+    for _period, served_ms, next_alloc_ms in evidence:
+        assert served_ms > 25.0
+        assert next_alloc_ms < 25.0

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 9 (file-system isolation).
+
+Run with:  pytest benchmarks/test_fig9_fs_isolation.py --benchmark-only -s
+"""
+
+from repro.exp import fig9
+
+
+def test_fig9_fs_isolation(benchmark):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print()
+    print(fig9.format_result(result))
+
+    # "the throughput observed by the file-system client remains almost
+    # exactly the same despite the addition of two heavily paging
+    # applications."
+    assert result.solo_mbit > 5.0                 # it is actually streaming
+    assert result.retention >= 0.93, result.retention
+    # The pagers do make progress (they are not starved either).
+    for name, mbit in result.pager_mbit.items():
+        assert mbit > 0.1, (name, mbit)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Memory-mapped files + stream-paging (the paper's §8 extensions).
+
+An analysis job maps a 16 MB file into its address space with only
+64 KB of physical memory behind it, and spends ~2 ms of CPU per page
+(parsing, checksumming, ...). Three driver configurations are compared
+under identical disk guarantees:
+
+* demand paging (classic mmap),
+* stream-paging with a 4-deep pipeline,
+* stream-paging with an 8-deep pipeline.
+
+Demand paging serialises each page's disk read with its processing;
+stream-paging overlaps them, so the job runs at max(IO, CPU) instead of
+IO + CPU — and most pages never fault at all, because their reads
+complete while earlier pages are still being processed.
+
+Run:  python examples/mapped_file_scan.py
+"""
+
+from repro import (
+    AccessKind,
+    Compute,
+    MS,
+    NemesisSystem,
+    QoSSpec,
+    SEC,
+    Touch,
+)
+
+MB = 1024 * 1024
+FILE_BYTES = 16 * MB
+FRAMES = 8                      # 64 KB of physical memory
+QOS = QoSSpec(period_ns=100 * MS, slice_ns=80 * MS, laxity_ns=5 * MS)
+
+
+def scan(stretch, per_page_ns):
+    def body():
+        for va in stretch.pages():
+            yield Touch(va, AccessKind.READ)
+            yield Compute(per_page_ns)
+    return body()
+
+
+def run(depth):
+    system = NemesisSystem()
+    data = system.filesystem.create("corpus.bin", FILE_BYTES, QOS)
+    app = system.new_app("scanner", guaranteed_frames=FRAMES + 2)
+    stretch = app.new_stretch(FILE_BYTES)
+    driver = app.mmap_driver(data, frames=FRAMES, prefetch_depth=depth)
+    app.bind(stretch, driver)
+    per_page = 2 * MS  # CPU-heavy processing per page
+    thread = app.spawn(scan(stretch, per_page))
+    system.sim.run_until_triggered(thread.done, limit=600 * SEC)
+    return system.now / SEC, thread.faults, driver
+
+
+def main():
+    pages = FILE_BYTES // 8192
+    print("process a %d MB mapped file (~2 ms CPU/page) with %d KB of "
+          "physical memory" % (FILE_BYTES // MB, FRAMES * 8))
+    print("(disk guarantee: 80 ms per 100 ms; %d pages)\n" % pages)
+    print("%-22s %10s %8s %14s %10s" % ("driver", "time (s)", "faults",
+                                        "prefetched", "MB/s"))
+    for depth, label in ((0, "demand paging"),
+                         (4, "stream (depth 4)"),
+                         (8, "stream (depth 8)")):
+        seconds, faults, driver = run(depth)
+        print("%-22s %10.2f %8d %14d %10.2f"
+              % (label, seconds, faults, driver.prefetch_mapped,
+                 FILE_BYTES / MB / seconds))
+    print()
+    print("Demand paging pays IO + CPU per page; stream-paging pays")
+    print("max(IO, CPU): the reads for upcoming pages complete while")
+    print("the current page is being processed, so most pages are")
+    print("already mapped when the scanner reaches them.")
+
+
+if __name__ == "__main__":
+    main()

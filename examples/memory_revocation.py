@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Physical-memory contracts and the revocation protocol (§6.2).
+
+Demonstrates the frames allocator's full machinery on a small machine
+(8 MB of main memory) where contention is real:
+
+1. **Admission control** — guarantees that cannot all be met are
+   refused outright.
+2. **Optimistic allocation** — a best-effort app soaks up idle memory
+   beyond its guarantee.
+3. **Transparent revocation** — when a guaranteed request needs memory
+   back and the victim's top-of-stack frames are unused, they are
+   reclaimed without involving the victim at all.
+4. **Intrusive revocation** — when the victim's frames are mapped and
+   dirty, it receives a revocation notification with a deadline; its
+   MMEntry worker cleans pages to its swap file, unmaps them, arranges
+   them on top of its frame stack and replies.
+5. **The penalty** — an application that ignores the notification past
+   the deadline is killed and all its frames reclaimed.
+
+Run:  python examples/memory_revocation.py
+"""
+
+from repro import AccessKind, MS, Machine, NemesisSystem, QoSSpec, SEC, Touch
+from repro.mm.frames import FramesError
+
+MB = 1024 * 1024
+SMALL_MACHINE = Machine(name="small", phys_mem_bytes=8 * MB)
+
+
+def header(text):
+    print("\n=== %s ===" % text)
+
+
+def touch_pages(stretch, start, count, kind=AccessKind.WRITE):
+    for index in range(start, start + count):
+        yield Touch(stretch.va_of_page(index), kind)
+
+
+def acts_one_to_four():
+    system = NemesisSystem(machine=SMALL_MACHINE, revocation_timeout=500 * MS)
+    total = system.physmem.region("main").frames
+    reserve = system.frames_allocator.system_reserve
+    print("machine: %d main-memory frames (%d reserved for the system)"
+          % (total, reserve))
+
+    header("1. admission control")
+    try:
+        system.frames_allocator.admit(None, guaranteed=total + 1)
+    except FramesError as exc:
+        print("refused: %s" % exc)
+
+    cm = system.new_app("cm-app", guaranteed_frames=128)
+    greedy = system.new_app("greedy", guaranteed_frames=4,
+                            extra_frames=total)
+
+    header("2. optimistic allocation")
+    # Slack-eligible so revocation cleaning is not starved by its slice.
+    qos = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS, extra=True,
+                  laxity_ns=10 * MS)
+    greedy_stretch = greedy.new_stretch(16 * MB)
+    greedy_driver = greedy.paged_driver(frames=0, swap_bytes=24 * MB,
+                                        qos=qos)
+    greedy.bind(greedy_stretch, greedy_driver)
+    grabbed = greedy.frames.alloc_now(
+        system.physmem.free_in_region("main") - reserve)
+    greedy_driver.adopt_frames(grabbed)
+    print("greedy holds %d frames (%d guaranteed + %d optimistic); "
+          "%d main frames free"
+          % (greedy.frames.allocated, greedy.frames.guaranteed,
+             greedy.frames.optimistic,
+             system.physmem.free_in_region("main")))
+
+    # Greedy maps (and dirties) half of its frames.
+    half = greedy_driver.free_frames // 2
+    thread = greedy.spawn(touch_pages(greedy_stretch, 0, half),
+                          name="greedy-touch-1")
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+
+    header("3. transparent revocation")
+    before_faults = greedy.mmentry.revocations_handled
+    cm_frames = cm.frames.alloc_now(64)
+    print("cm-app allocated %d guaranteed frames instantly; greedy was "
+          "not involved (notifications: %d); greedy now holds %d"
+          % (len(cm_frames),
+             greedy.mmentry.revocations_handled - before_faults,
+             greedy.frames.allocated))
+
+    header("4. intrusive revocation")
+    # Greedy maps everything it still owns: no unused frames remain.
+    remaining = greedy_driver.free_frames
+    thread = greedy.spawn(touch_pages(greedy_stretch, half, remaining),
+                          name="greedy-touch-2")
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+    before = system.now
+    pageouts_before = greedy_driver.pageouts
+    request = cm.frames.request_frames(8)
+    granted = system.sim.run_until_triggered(request, limit=120 * SEC)
+    print("cm-app received %d frames after %.1f ms" %
+          (len(granted), (system.now - before) / MS))
+    print("greedy handled %d revocation notification(s), cleaning %d "
+          "dirty pages to its swap file first"
+          % (greedy.mmentry.revocations_handled,
+             greedy_driver.pageouts - pageouts_before))
+    print("greedy is alive: %s" % (not greedy.frames.killed))
+
+
+def act_five():
+    header("5. deadline miss -> domain kill")
+    system = NemesisSystem(machine=SMALL_MACHINE, revocation_timeout=200 * MS)
+    cm = system.new_app("cm-app", guaranteed_frames=128)
+    rogue = system.new_app("rogue", guaranteed_frames=4,
+                           extra_frames=system.physmem.total_frames)
+    stretch = rogue.new_stretch(16 * MB)
+    driver = rogue.physical_driver(frames=0)
+    rogue.bind(stretch, driver)
+    grabbed = rogue.frames.alloc_now(system.physmem.free_in_region("main"))
+    driver.adopt_frames(grabbed)
+    thread = rogue.spawn(touch_pages(stretch, 0, driver.free_frames),
+                         name="rogue-toucher")
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+    # The rogue stops listening: its revocation endpoint goes deaf.
+    rogue.domain.channels.remove(rogue.mmentry.revocation_channel)
+    print("rogue holds %d frames, all mapped, and ignores notifications"
+          % rogue.frames.allocated)
+    before = system.now
+    request = cm.frames.request_frames(8)
+    granted = system.sim.run_until_triggered(request, limit=120 * SEC)
+    print("after %.0f ms: rogue killed=%s, rogue domain dead=%s, "
+          "cm-app got %d frames"
+          % ((system.now - before) / MS, rogue.frames.killed,
+             rogue.domain.dead, len(granted)))
+    print("frames-allocator trace: %d notification(s), %d kill(s)"
+          % (system.frames_trace.count(kind="revoke_notify"),
+             system.frames_trace.count(kind="kill")))
+
+
+def main():
+    acts_one_to_four()
+    act_five()
+
+
+if __name__ == "__main__":
+    main()

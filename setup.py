@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The pyproject.toml carries the metadata; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'Self-Paging in the Nemesis Operating "
+                 "System' (Hand, OSDI 1999)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

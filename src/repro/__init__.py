@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Self-Paging in the Nemesis Operating
+System" (Steven M. Hand, OSDI 1999) as a deterministic discrete-event
+simulation.
+
+The package builds, from scratch, every system the paper depends on:
+
+* a discrete-event simulator (:mod:`repro.sim`);
+* the hardware substrate — MMU, linear/guarded page tables, TLB,
+  physical memory, a mechanical disk with read-ahead cache, and a
+  calibrated CPU cost model (:mod:`repro.hw`);
+* the Nemesis kernel — event channels, domains with activations and
+  user-level thread scheduling, minimal fault dispatch
+  (:mod:`repro.kernel`);
+* the Atropos EDF scheduler with laxity and roll-over accounting
+  (:mod:`repro.sched`);
+* the self-paging memory system — stretches, protection domains, the
+  frames allocator with guaranteed/optimistic contracts and revocation,
+  the translation system, stretch drivers, the MMEntry
+  (:mod:`repro.mm`);
+* the User-Safe Backing Store — USD + swap filesystem
+  (:mod:`repro.usd`);
+* baselines (FCFS disk, shared external pager) in
+  :mod:`repro.baseline`, workloads in :mod:`repro.apps`, and the
+  experiment harness regenerating every table and figure in
+  :mod:`repro.exp`.
+
+Quick start: see ``examples/quickstart.py`` or the README.
+"""
+
+from repro.hw.cpu import CostModel
+from repro.hw.disk import DiskGeometry, DiskRequest, QUANTUM_VP3221, READ, WRITE
+from repro.hw.mmu import AccessKind, FaultCode
+from repro.hw.platform import ALPHA_EB164, Machine
+from repro.kernel.threads import Compute, Touch, Wait, Yield
+from repro.mm.rights import Right, Rights
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, NS, SEC, US
+from repro.system import App, NemesisSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALPHA_EB164",
+    "AccessKind",
+    "App",
+    "Compute",
+    "CostModel",
+    "DiskGeometry",
+    "DiskRequest",
+    "FaultCode",
+    "MS",
+    "Machine",
+    "NS",
+    "NemesisSystem",
+    "QUANTUM_VP3221",
+    "QoSSpec",
+    "READ",
+    "Right",
+    "Rights",
+    "SEC",
+    "Touch",
+    "US",
+    "WRITE",
+    "Wait",
+    "Yield",
+    "__version__",
+]

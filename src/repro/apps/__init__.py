@@ -1,0 +1,19 @@
+"""Workloads: the applications the paper's experiments run.
+
+* :mod:`repro.apps.pager_app` — the §7.2 test application: a paged
+  stretch driver with a tiny frame pool (16 KB) over a large stretch
+  (4 MB), a main thread sequentially touching every byte (modelled at
+  page granularity with a per-byte compute charge), and a watch thread
+  logging progress every 5 seconds.
+* :mod:`repro.apps.fsclient` — the Figure 9 file-system client:
+  page-sized sequential reads from a separate partition, heavily
+  pipelined through a deep IO channel.
+* :mod:`repro.apps.watch` — bandwidth sampling utilities shared by
+  both.
+"""
+
+from repro.apps.fsclient import FileSystemClient
+from repro.apps.pager_app import PagingApplication
+from repro.apps.watch import BandwidthWatcher
+
+__all__ = ["BandwidthWatcher", "FileSystemClient", "PagingApplication"]

@@ -1,0 +1,103 @@
+"""The §7.2 test application.
+
+"A test application was written which created a paged stretch driver
+with 16Kb of physical memory and 16Mb of swap space, and then allocated
+a 4Mb stretch and bound it to the stretch driver. The application then
+proceeded to sequentially read every byte in the stretch, causing every
+page to be demand zeroed. [Experiment 1] continues ... by writing to
+every byte in the stretch, and then forking a 'watch thread'. The main
+thread continues sequentially accessing every byte from the start of
+the 4Mb stretch, incrementing a counter for each byte 'processed' and
+looping around to the start when it reaches the top."
+
+Byte touching is modelled at page granularity: one :class:`Touch` per
+page (the access that can fault) plus a :class:`Compute` charge of
+``per_byte_touch * page_size`` (the paper's "trivial amount of
+computation ... per page").
+
+Modes:
+
+* ``"read-loop"`` (Figure 7): demand-zero pass, write pass (populates
+  swap), then an endless sequential *read* loop — steady state is one
+  page-in per fault.
+* ``"write-loop"`` (Figure 8, with the forgetful driver): endless
+  sequential *write* loop — steady state is one page-out per fault.
+"""
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.apps.watch import BandwidthWatcher
+from repro.sim.units import SEC
+
+MB = 1024 * 1024
+KB = 1024
+
+
+class PagingApplication:
+    """One self-paging application of the paper's experiments."""
+
+    def __init__(self, system, name, qos, mode="read-loop",
+                 stretch_bytes=4 * MB, driver_frames=2,
+                 swap_bytes=16 * MB, guaranteed_frames=None,
+                 watch_period=5 * SEC):
+        if mode not in ("read-loop", "write-loop"):
+            raise ValueError("mode must be 'read-loop' or 'write-loop'")
+        self.system = system
+        self.name = name
+        self.mode = mode
+        self.bytes_processed = 0
+        self.loops_completed = 0
+        self.populated = system.sim.event("%s.populated" % name)
+        # Contract: exactly the frames the driver needs (plus none
+        # optimistic) — the time-sensitive-app idiom of §6.2.
+        frames = driver_frames if guaranteed_frames is None else guaranteed_frames
+        self.app = system.new_app(name, guaranteed_frames=frames)
+        self.stretch = self.app.new_stretch(stretch_bytes)
+        self.driver = self.app.paged_driver(
+            frames=driver_frames, swap_bytes=swap_bytes, qos=qos,
+            forgetful=(mode == "write-loop"))
+        self.app.bind(self.stretch, self.driver)
+        self.page_size = system.machine.page_size
+        self._per_page_compute = (system.meter.model["per_byte_touch"]
+                                  * self.page_size)
+        self.main_thread = self.app.spawn(self._main(), name="%s-main" % name)
+        self.watch = BandwidthWatcher(
+            system.sim, lambda: self.bytes_processed,
+            period=watch_period, name="%s-watch" % name)
+
+    # -- thread bodies ---------------------------------------------------
+
+    def _pass(self, kind, count_progress):
+        """One sequential pass over every page of the stretch."""
+        for va in self.stretch.pages():
+            yield Touch(va, kind)
+            yield Compute(self._per_page_compute, label="process-page")
+            if count_progress:
+                self.bytes_processed += self.page_size
+
+    def _main(self):
+        if self.mode == "read-loop":
+            # Demand-zero every page, then write every byte (so that
+            # every page has been dirtied and will be paged out), then
+            # loop reading.
+            yield from self._pass(AccessKind.READ, count_progress=False)
+            yield from self._pass(AccessKind.WRITE, count_progress=False)
+            self.populated.trigger(self.system.sim.now)
+            while True:
+                yield from self._pass(AccessKind.READ, count_progress=True)
+                self.loops_completed += 1
+        else:
+            # Figure 8: pure page-out load from the first touch.
+            self.populated.trigger(self.system.sim.now)
+            while True:
+                yield from self._pass(AccessKind.WRITE, count_progress=True)
+                self.loops_completed += 1
+
+    # -- results ------------------------------------------------------------
+
+    def mbit_per_sec(self, start, end):
+        return self.watch.mbit_per_sec(start, end)
+
+    @property
+    def faults(self):
+        return self.main_thread.faults

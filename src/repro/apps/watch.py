@@ -1,0 +1,60 @@
+"""Progress sampling: the "watch thread".
+
+§7.2: "forking a 'watch thread' ... The watch thread wakes up every 5
+seconds and logs the number of bytes processed." We run the sampler as
+a simulator process (its CPU cost is negligible and irrelevant to the
+figures); it polls a counter callable and keeps ``(time, value)``
+samples, from which sustained bandwidth over any window can be
+computed.
+"""
+
+from repro.sim.units import SEC
+
+
+class BandwidthWatcher:
+    """Samples a monotone counter on a fixed period."""
+
+    def __init__(self, sim, counter_fn, period=5 * SEC, name="watch"):
+        self.sim = sim
+        self.counter_fn = counter_fn
+        self.period = period
+        self.name = name
+        self.samples = []  # (time_ns, counter_value)
+        self._proc = sim.spawn(self._run(), name=name)
+
+    def _run(self):
+        while True:
+            self.samples.append((self.sim.now, self.counter_fn()))
+            yield self.sim.timeout(self.period)
+
+    def value_at(self, time):
+        """Counter value at the latest sample <= ``time`` (0 if none)."""
+        best = 0
+        for when, value in self.samples:
+            if when <= time:
+                best = value
+            else:
+                break
+        return best
+
+    def bandwidth(self, start, end):
+        """Mean bytes/second of progress over [start, end]."""
+        if end <= start:
+            raise ValueError("empty window")
+        delta = self.value_at(end) - self.value_at(start)
+        return delta / ((end - start) / SEC)
+
+    def mbit_per_sec(self, start, end):
+        """Mean progress in Mbit/s over [start, end] (the Figure 7/8
+        y-axis unit)."""
+        return self.bandwidth(start, end) * 8 / 1e6
+
+    def series_mbit(self):
+        """Per-interval Mbit/s between consecutive samples (the plotted
+        sustained-bandwidth series)."""
+        out = []
+        for (t0, v0), (t1, v1) in zip(self.samples, self.samples[1:]):
+            seconds = (t1 - t0) / SEC
+            if seconds > 0:
+                out.append((t1, (v1 - v0) * 8 / 1e6 / seconds))
+        return out

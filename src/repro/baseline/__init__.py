@@ -1,0 +1,21 @@
+"""Baselines: what the paper argues against.
+
+* :mod:`repro.baseline.fcfs_disk` — an *unscheduled* disk service:
+  transactions served strictly first-come first-served, the state of
+  practice the USD replaces ("Other resources on the data path, such as
+  the disk ... are generally not explicitly scheduled at all", §2).
+  It exposes the same ``admit``/``submit`` interface as the USD so the
+  whole self-paging stack can run unchanged on top of it — which is how
+  the crosstalk ablations isolate the contribution of disk QoS.
+
+* :mod:`repro.baseline.external_pager` — a microkernel-style *shared
+  external pager*: all applications' faults funnel into one server with
+  a FIFO queue (Figure 2, left). It demonstrates the two §5 problems:
+  the faulting process does not spend its own resources, and the pager
+  multiplexes "first-come first-served ... probably the best it can do".
+"""
+
+from repro.baseline.external_pager import ExternalPager, PagerRequest
+from repro.baseline.fcfs_disk import FcfsDiskService
+
+__all__ = ["ExternalPager", "FcfsDiskService", "PagerRequest"]

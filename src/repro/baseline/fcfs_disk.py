@@ -1,0 +1,91 @@
+"""First-come first-served disk service (no QoS).
+
+Drop-in replacement for the USD: ``admit(name, qos)`` accepts and
+ignores the QoS spec (there are no guarantees to negotiate) and returns
+a client whose ``submit`` queues the transaction on a single global FIFO
+served one at a time. Under contention every client gets whatever the
+arrival pattern gives it — which is the crosstalk the paper eliminates.
+"""
+
+from collections import deque
+
+from repro.hw.disk import DiskRequest
+
+
+class FcfsClient:
+    """Interface-compatible with :class:`repro.usd.usd.USDClient`."""
+
+    def __init__(self, service, name):
+        self.service = service
+        self.name = name
+        self.transactions = 0
+        self.blocks_moved = 0
+
+    @property
+    def qos(self):
+        return None
+
+    def submit(self, request: DiskRequest):
+        if request.client != self.name:
+            request = DiskRequest(kind=request.kind, lba=request.lba,
+                                  nblocks=request.nblocks, client=self.name,
+                                  tag=request.tag)
+        self.transactions += 1
+        self.blocks_moved += request.nblocks
+        return self.service._submit(request)
+
+    @property
+    def pending(self):
+        return sum(1 for req, _done in self.service._queue
+                   if req.client == self.name)
+
+
+class FcfsDiskService:
+    """One global FIFO in front of the disk."""
+
+    def __init__(self, sim, disk, trace=None):
+        self.sim = sim
+        self.disk = disk
+        self.trace = trace
+        self.clients = []
+        self._queue = deque()
+        self._wake = sim.event("fcfs.wake")
+        sim.spawn(self._loop(), name="fcfs-disk")
+
+    def admit(self, name, qos=None):
+        """No admission control: everyone is let in, nobody is promised
+        anything."""
+        client = FcfsClient(self, name)
+        self.clients.append(client)
+        return client
+
+    def depart(self, client):
+        self.clients.remove(client)
+
+    def _submit(self, request):
+        done = self.sim.event("fcfs.done")
+        self._queue.append((request, done))
+        if not self._wake.triggered:
+            self._wake.trigger(None)
+        return done
+
+    def _loop(self):
+        while True:
+            if not self._queue:
+                if self._wake.triggered:
+                    self._wake = self.sim.event("fcfs.wake")
+                    continue
+                yield self._wake
+                continue
+            request, done = self._queue.popleft()
+            start = self.sim.now
+            try:
+                result = yield from self.disk.transaction(request)
+            except Exception as exc:
+                done.fail(exc)
+                continue
+            if self.trace is not None:
+                self.trace.record(start, "txn", request.client,
+                                  duration=self.sim.now - start,
+                                  label=request.kind)
+            done.trigger(result)

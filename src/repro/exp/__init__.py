@@ -1,0 +1,16 @@
+"""The experiment harness: regenerates every table and figure.
+
+* :mod:`repro.exp.microbench` — Table 1 (dirty, (un)prot1, (un)prot100,
+  trap, appel1, appel2; page-table and protection-domain routes).
+* :mod:`repro.exp.fig7` — paging-in isolation (sustained bandwidth +
+  USD scheduler trace).
+* :mod:`repro.exp.fig8` — paging-out isolation.
+* :mod:`repro.exp.fig9` — file-system isolation.
+* :mod:`repro.exp.ablations` — laxity, roll-over, crosstalk baselines,
+  guarded-vs-linear page table.
+* :mod:`repro.exp.report` — ASCII rendering of tables, series and USD
+  scheduler traces.
+
+Every module is runnable: ``python -m repro.exp.fig7`` prints the
+regenerated figure data. All experiments are deterministic.
+"""

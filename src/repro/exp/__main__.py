@@ -1,0 +1,75 @@
+"""Run the whole evaluation from the command line.
+
+    python -m repro.exp [table1|fig7|fig8|fig9|ablations|all]
+
+Without arguments, everything runs at paper scale (a few minutes of
+simulated-time crunching). Individual experiments accept the same names
+as their modules.
+"""
+
+import sys
+import time
+
+from repro.exp import ablations, fig7, fig8, fig9, microbench
+
+
+def _banner(title):
+    print()
+    print("#" * 72)
+    print("# %s" % title)
+    print("#" * 72)
+
+
+def run_table1():
+    _banner("Table 1 — VM primitive microbenchmarks")
+    microbench.main()
+
+
+def run_fig7():
+    _banner("Figure 7 — paging in")
+    fig7.main()
+
+
+def run_fig8():
+    _banner("Figure 8 — paging out")
+    fig8.main()
+
+
+def run_fig9():
+    _banner("Figure 9 — file-system isolation")
+    fig9.main()
+
+
+def run_ablations():
+    _banner("Ablations")
+    ablations.main()
+
+
+RUNNERS = {
+    "table1": run_table1,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "ablations": run_ablations,
+}
+
+
+def main(argv):
+    targets = argv or ["all"]
+    if targets == ["all"]:
+        targets = list(RUNNERS)
+    unknown = [t for t in targets if t not in RUNNERS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown))
+        print("choose from: %s, all" % ", ".join(RUNNERS))
+        return 1
+    started = time.time()
+    for target in targets:
+        RUNNERS[target]()
+    print()
+    print("done in %.1f s of wall-clock time." % (time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

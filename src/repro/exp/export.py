@@ -1,0 +1,96 @@
+"""CSV export of experiment results (for external plotting).
+
+The harness renders figures as text; anyone wanting the paper's actual
+plots (matplotlib, gnuplot, a spreadsheet) can export the underlying
+series::
+
+    python -m repro.exp.export fig7 out/
+
+writes, per figure:
+
+* ``<fig>_bandwidth.csv`` — per-client sustained bandwidth samples
+  (the top plot of Figures 7/8);
+* ``<fig>_trace.csv`` — the USD scheduler events (the bottom plot):
+  one row per transaction / lax interval / allocation.
+"""
+
+import csv
+import os
+import sys
+
+from repro.exp import fig7, fig8, fig9
+from repro.exp.common import small_config
+from repro.sim.units import SEC
+
+
+def write_bandwidth_csv(result, path):
+    """Per-client watch-thread series: time_s, client, mbit_per_s."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "client", "mbit_per_s"])
+        for app in result.apps:
+            for when, mbit in app.watch.series_mbit():
+                writer.writerow(["%.3f" % (when / SEC), app.name,
+                                 "%.4f" % mbit])
+    return path
+
+
+def write_trace_csv(trace, path, start=None, end=None):
+    """USD scheduler events: start_s, kind, client, duration_ms."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["start_s", "kind", "client", "duration_ms"])
+        for event in trace.filter(start=start, end=end):
+            writer.writerow(["%.6f" % (event.time / SEC), event.kind,
+                             event.client, "%.3f" % (event.duration / 1e6)])
+    return path
+
+
+def write_fig9_csv(result, path):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["run", "client", "mbit_per_s"])
+        writer.writerow(["solo", "fsclient", "%.4f" % result.solo_mbit])
+        writer.writerow(["contended", "fsclient",
+                         "%.4f" % result.contended_mbit])
+        for name, mbit in result.pager_mbit.items():
+            writer.writerow(["contended", name, "%.4f" % mbit])
+    return path
+
+
+def export_paging_figure(module, tag, outdir, config=None):
+    result = module.run(config or small_config())
+    written = [
+        write_bandwidth_csv(result,
+                            os.path.join(outdir, "%s_bandwidth.csv" % tag)),
+        write_trace_csv(result.system.usd_trace,
+                        os.path.join(outdir, "%s_trace.csv" % tag),
+                        start=result.window[0], end=result.window[1]),
+    ]
+    return written
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    which = argv[0] if argv else "all"
+    outdir = argv[1] if len(argv) > 1 else "results"
+    os.makedirs(outdir, exist_ok=True)
+    written = []
+    if which in ("fig7", "all"):
+        written += export_paging_figure(fig7, "fig7", outdir)
+    if which in ("fig8", "all"):
+        written += export_paging_figure(fig8, "fig8", outdir)
+    if which in ("fig9", "all"):
+        result = fig9.run()
+        written.append(write_fig9_csv(
+            result, os.path.join(outdir, "fig9_bandwidth.csv")))
+    if not written:
+        print("usage: python -m repro.exp.export [fig7|fig8|fig9|all] [dir]")
+        return 1
+    for path in written:
+        print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,385 @@
+"""Table 1: VM-primitive microbenchmarks.
+
+The paper compares Nemesis against Digital OSF1 V4.0 on the same
+hardware with the Appel-Li style benchmarks:
+
+=========  ==============================================================
+dirty      time to test a page's dirty bit (linear page-table lookup)
+(un)prot1  change protections on a 1-page stretch (page-table route;
+           protection-domain route in square brackets)
+(un)prot100  same for a 100-page range
+trap       handle a page fault entirely in user space
+appel1     "prot1+trap+unprot": access a protected page; in the custom
+           fault handler unprotect it and protect another
+appel2     "protN+trap+unprot": make 100 pages inaccessible; touch each
+           in random order, fixing each up in the fault handler. "It is
+           not possible to do this precisely on Nemesis due to the
+           protection model ... Hence we unmap all pages rather than
+           protecting them, and map them rather than unprotecting."
+=========  ==============================================================
+
+Methodology here: the **simulated code paths are actually executed**
+(page tables walked, PTEs written, protection domains updated, faults
+dispatched through the kernel/MMEntry machinery) and their cost is the
+sum of the calibrated primitives they charge (see
+:mod:`repro.hw.cpu`). ``trap``/``appel1``/``appel2`` are measured as
+*elapsed simulated time* across live fault handling on an uncontended
+CPU; the rest are measured with the cost meter around the operation.
+The OSF1 column is the paper's own published numbers (OSF1 is not
+reproducible); the paper's Nemesis column is included for comparison.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.mmu import AccessKind, FaultCode
+from repro.kernel.threads import Compute, Touch
+from repro.mm.physical import PhysicalDriver
+from repro.mm.rights import Rights
+from repro.mm.sdriver import FaultOutcome
+from repro.sim.units import SEC, US
+from repro.system import NemesisSystem
+from repro.exp import report
+
+OSF1_REFERENCE = {
+    "dirty": None,          # "n/a" in the paper
+    "prot1": 3.36,
+    "prot100": 5.14,
+    "trap": 10.33,
+    "appel1": 24.08,
+    "appel2": 19.12,
+    "prot_alternating": 75.0,   # "the cost increases to ~75us"
+}
+"""Paper-published OSF1 V4.0 microseconds (Table 1 + §7 text)."""
+
+PAPER_NEMESIS = {
+    "dirty": 0.15,
+    "prot1": 0.42,
+    "prot1_pd": 0.40,
+    "prot100": 10.78,
+    "prot100_pd": 0.30,
+    "trap": 4.20,
+    "appel1": 5.33,
+    "appel2": 9.75,
+    "prot_idempotent": 0.15,
+    "dirty_guarded_factor": 3.0,   # "about three times slower"
+}
+"""Paper-published Nemesis microseconds (Table 1 + §7 text)."""
+
+
+@dataclass
+class Table1Result:
+    """Measured microseconds, keyed like :data:`PAPER_NEMESIS`."""
+
+    measured: Dict[str, float]
+    iterations: int
+
+    def within(self, key, factor=2.0):
+        """True if measured is within ``factor`` of the paper's value."""
+        paper = PAPER_NEMESIS[key]
+        ours = self.measured[key]
+        return paper / factor <= ours <= paper * factor
+
+
+def _fresh(pagetable="linear"):
+    return NemesisSystem(pagetable=pagetable, cpu="unlimited",
+                         usd_trace=False)
+
+
+def _build_mapped_stretch(system, npages, dirty=True):
+    """An app with ``npages`` mapped (and optionally dirtied) pages."""
+    app = system.new_app("bench", guaranteed_frames=npages + 8)
+    stretch = app.new_stretch(npages * system.machine.page_size)
+    driver = app.physical_driver(frames=npages)
+    driver.zero_on_map = False
+    app.bind(stretch, driver)
+
+    def toucher():
+        kind = AccessKind.WRITE if dirty else AccessKind.READ
+        for va in stretch.pages():
+            yield Touch(va, kind)
+
+    thread = app.spawn(toucher(), name="warmup")
+    system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+    return app, stretch, driver
+
+
+# ---------------------------------------------------------------------------
+# Meter-based benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_dirty(iterations=200, pagetable="linear"):
+    """Look up a random PTE and examine its dirty bit."""
+    system = _fresh(pagetable=pagetable)
+    app, stretch, _driver = _build_mapped_stretch(system, 100, dirty=True)
+    rng = random.Random(42)
+    meter = system.meter
+    total = 0
+    for _ in range(iterations):
+        va = stretch.va_of_page(rng.randrange(stretch.npages))
+        meter.take()
+        mapped, _dirty, _ref = system.translation.page_info(va)
+        total += meter.take()
+        assert mapped
+    return total / iterations / US
+
+
+def _bench_prot(npages, route, iterations=200):
+    """Alternately protect/unprotect an ``npages`` stretch."""
+    system = _fresh()
+    app, stretch, _driver = _build_mapped_stretch(system, npages,
+                                                  dirty=False)
+    meter = system.meter
+    rights = [Rights.parse("rm"), Rights.parse("rwm")]
+    if route == "pagetable":
+        op = system.translation.set_prot_pagetable
+    else:
+        op = system.translation.set_prot_protdom
+    op(app.domain, stretch, rights[1])  # settle initial state
+    total = 0
+    for i in range(iterations):
+        meter.take()
+        changed = op(app.domain, stretch, rights[i % 2])
+        total += meter.take()
+        assert changed
+    return total / iterations / US
+
+
+def bench_prot1(route="pagetable", iterations=200):
+    return _bench_prot(1, route, iterations)
+
+
+def bench_prot100(route="pagetable", iterations=100):
+    return _bench_prot(100, route, iterations)
+
+
+def bench_prot_idempotent(iterations=200):
+    """Repeatedly apply the *same* protection: the idempotence check
+    short-circuits ("otherwise the operation takes an average of only
+    0.15 us")."""
+    system = _fresh()
+    app, stretch, _driver = _build_mapped_stretch(system, 100, dirty=False)
+    meter = system.meter
+    rights = Rights.parse("rwm")
+    system.translation.set_prot_pagetable(app.domain, stretch, rights)
+    total = 0
+    for _ in range(iterations):
+        meter.take()
+        changed = system.translation.set_prot_pagetable(app.domain, stretch,
+                                                        rights)
+        total += meter.take()
+        assert not changed
+    return total / iterations / US
+
+
+# ---------------------------------------------------------------------------
+# Live fault-path benchmarks (elapsed simulated time)
+# ---------------------------------------------------------------------------
+
+def bench_trap(iterations=50):
+    """User-space page-fault handling time.
+
+    A custom protection-fault handler (the cheapest possible fix-up: a
+    cache-hot protection-domain poke) measures the raw dispatch +
+    activation + handler + ULTS path.
+    """
+    system = _fresh()
+    app, stretch, _driver = _build_mapped_stretch(system, 4, dirty=True)
+    sid = stretch.sid
+    protdom = app.domain.protdom
+
+    def handler(fault):
+        protdom.set_rights(sid, Rights.parse("rwm"), hot=True)
+        return FaultOutcome.SUCCESS
+
+    app.mmentry.set_fault_handler(FaultCode.PROTECTION, handler)
+    samples = []
+
+    def body():
+        va = stretch.base
+        yield Touch(va, AccessKind.READ)  # warm: FOR/FOW assists done
+        for _ in range(iterations):
+            protdom.set_rights(sid, Rights.parse("m"), hot=True)
+            yield Compute(0)  # flush the disarm cost outside the window
+            start = system.sim.now
+            yield Touch(va, AccessKind.READ)
+            samples.append(system.sim.now - start)
+
+    thread = app.spawn(body(), name="trapper")
+    system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+    return sum(samples) / len(samples) / US
+
+
+def bench_appel1(iterations=100):
+    """prot1 + trap + unprot over single-page stretches."""
+    system = _fresh()
+    npages = 32
+    app = system.new_app("bench", guaranteed_frames=npages + 8)
+    driver = app.physical_driver(frames=npages)
+    driver.zero_on_map = False
+    stretches = []
+    page = system.machine.page_size
+    for _ in range(npages):
+        stretch = app.new_stretch(page)
+        app.bind(stretch, driver)
+        stretches.append(stretch)
+    rng = random.Random(7)
+    protected = {0}
+    translation = system.translation
+
+    def handler(fault):
+        # Unprotect the faulted stretch, protect another (appel-li).
+        faulted = None
+        for stretch in stretches:
+            if fault.va in stretch:
+                faulted = stretch
+                break
+        translation.set_prot_pagetable(app.domain, faulted,
+                                       Rights.parse("rwm"))
+        protected.discard(stretches.index(faulted))
+        victim = rng.randrange(npages)
+        if victim == stretches.index(faulted):
+            victim = (victim + 1) % npages
+        translation.set_prot_pagetable(app.domain, stretches[victim],
+                                       Rights.parse("m"))
+        protected.add(victim)
+        return FaultOutcome.SUCCESS
+
+    app.mmentry.set_fault_handler(FaultCode.PROTECTION, handler)
+    samples = []
+
+    def body():
+        for stretch in stretches:  # map + settle FOR/FOW assists
+            yield Touch(stretch.base, AccessKind.WRITE)
+        translation.set_prot_pagetable(app.domain, stretches[0],
+                                       Rights.parse("m"))
+        for _ in range(iterations):
+            target = next(iter(protected))
+            start = system.sim.now
+            yield Touch(stretches[target].base, AccessKind.READ)
+            samples.append(system.sim.now - start)
+            yield Compute(0)
+
+    thread = app.spawn(body(), name="appel1")
+    system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+    return sum(samples) / len(samples) / US
+
+
+class _SlowPathDriver(PhysicalDriver):
+    """Physical driver whose fast path always defers to a worker.
+
+    Used by appel2: mapping is done on the worker-thread path (the
+    frame pool is under worker ownership), which is also the path a
+    real paged driver takes for anything involving its pool.
+    """
+
+    def try_fast(self, fault):
+        if not self._check_fault(fault):
+            return FaultOutcome.FAILURE
+        return FaultOutcome.RETRY
+
+
+def bench_appel2(npages=100):
+    """unmap 100 pages; touch each in random order; map in the handler.
+
+    Reported per-page: (unmap-all)/N + fault + map, as in the paper.
+    """
+    system = _fresh()
+    app = system.new_app("bench", guaranteed_frames=npages + 8)
+    stretch = app.new_stretch(npages * system.machine.page_size)
+    driver = _SlowPathDriver("appel2", app.domain, app.frames,
+                             system.translation)
+    driver.zero_on_map = False
+    app.bind(stretch, driver)
+    driver.provide_frames(npages)
+    translation = system.translation
+    rng = random.Random(11)
+    order = list(range(npages))
+    rng.shuffle(order)
+    elapsed = {}
+
+    def body():
+        for va in stretch.pages():   # map everything, settle assists
+            yield Touch(va, AccessKind.WRITE)
+        yield Compute(0)
+        start = system.sim.now
+        freed = []
+        for va in stretch.pages():   # "unmap all pages"
+            pfn, _dirty = translation.unmap(app.domain, va)
+            freed.append(pfn)
+        driver.adopt_frames(freed)
+        driver._resident = []
+        yield Compute(0)             # flush unmap costs into sim time
+        elapsed["unmap_all"] = system.sim.now - start
+        start = system.sim.now
+        for index in order:          # touch in random order
+            yield Touch(stretch.va_of_page(index), AccessKind.READ)
+        elapsed["faults"] = system.sim.now - start
+
+    thread = app.spawn(body(), name="appel2")
+    system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+    per_page = (elapsed["unmap_all"] + elapsed["faults"]) / npages
+    return per_page / US
+
+
+# ---------------------------------------------------------------------------
+# The full table
+# ---------------------------------------------------------------------------
+
+def run(iterations=100):
+    """Run every benchmark; returns a :class:`Table1Result`."""
+    measured = {
+        "dirty": bench_dirty(iterations),
+        "prot1": bench_prot1("pagetable", iterations),
+        "prot1_pd": bench_prot1("protdom", iterations),
+        "prot100": bench_prot100("pagetable", max(iterations // 2, 10)),
+        "prot100_pd": bench_prot100("protdom", iterations),
+        "trap": bench_trap(max(iterations // 2, 10)),
+        "appel1": bench_appel1(iterations),
+        "appel2": bench_appel2(),
+        "prot_idempotent": bench_prot_idempotent(iterations),
+    }
+    measured["dirty_guarded_factor"] = (
+        bench_dirty(iterations, pagetable="guarded") / measured["dirty"])
+    return Table1Result(measured=measured, iterations=iterations)
+
+
+def format_table(result):
+    """Render Table 1 with the paper's columns for comparison."""
+    m = result.measured
+
+    def cell(v):
+        return "%.2f" % v if v is not None else "n/a"
+
+    rows = [
+        ("dirty", cell(m["dirty"]), cell(PAPER_NEMESIS["dirty"]), "n/a"),
+        ("(un)prot1", "%s [%s]" % (cell(m["prot1"]), cell(m["prot1_pd"])),
+         "0.42 [0.40]", cell(OSF1_REFERENCE["prot1"])),
+        ("(un)prot100", "%s [%s]" % (cell(m["prot100"]),
+                                     cell(m["prot100_pd"])),
+         "10.78 [0.30]", cell(OSF1_REFERENCE["prot100"])),
+        ("trap", cell(m["trap"]), cell(PAPER_NEMESIS["trap"]),
+         cell(OSF1_REFERENCE["trap"])),
+        ("appel1", cell(m["appel1"]), cell(PAPER_NEMESIS["appel1"]),
+         cell(OSF1_REFERENCE["appel1"])),
+        ("appel2", cell(m["appel2"]), cell(PAPER_NEMESIS["appel2"]),
+         cell(OSF1_REFERENCE["appel2"])),
+    ]
+    out = [report.table(
+        ["benchmark", "measured (us)", "paper Nemesis (us)", "paper OSF1 (us)"],
+        rows, title="Table 1 — comparative micro-benchmarks")]
+    out.append("")
+    out.append("idempotent (un)prot: %.2f us (paper: ~0.15 us)"
+               % m["prot_idempotent"])
+    out.append("guarded vs linear page table, dirty: %.1fx slower "
+               "(paper: ~3x)" % m["dirty_guarded_factor"])
+    return "\n".join(out)
+
+
+def main():
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Simulated hardware: the substrate the paper's testbed provided.
+
+The paper ran on a DEC Alpha EB164 (21164 @ 266 MHz) with a Quantum
+VP3221 SCSI disk. This package models the pieces of that hardware the
+evaluation depends on:
+
+* :mod:`repro.hw.platform` — machine description (page size, memory size,
+  address-space window, special regions).
+* :mod:`repro.hw.cpu` — a calibrated per-primitive cost model standing in
+  for the Alpha's cycle counts (see DESIGN.md for the substitution
+  rationale).
+* :mod:`repro.hw.physmem` — physical memory as an array of frames with
+  regions (main memory vs. I/O / DMA-capable space).
+* :mod:`repro.hw.pte` / :mod:`repro.hw.pagetable` — page-table entries
+  with FOR/FOW software dirty/referenced bits, a linear page table (the
+  paper's main implementation: an 8 GB array in virtual space) and a
+  guarded page table (the earlier, ~3x slower alternative).
+* :mod:`repro.hw.tlb` — a small software-managed TLB model.
+* :mod:`repro.hw.mmu` — translation + protection checks producing the
+  fault taxonomy the kernel dispatches (page / protection / unallocated).
+* :mod:`repro.hw.disk` — the seek/rotation/transfer disk model with a
+  multi-segment read-ahead cache (read caching on, write caching off —
+  the paper's configuration).
+"""
+
+from repro.hw.cpu import CostMeter, CostModel, DEFAULT_COSTS
+from repro.hw.disk import (
+    Disk,
+    DiskGeometry,
+    DiskRequest,
+    DiskResult,
+    QUANTUM_VP3221,
+    READ,
+    WRITE,
+)
+from repro.hw.mmu import MMU, AccessResult
+from repro.hw.pagetable import GuardedPageTable, LinearPageTable
+from repro.hw.physmem import PhysicalMemory, Region
+from repro.hw.platform import ALPHA_EB164, Machine
+from repro.hw.pte import PTE
+from repro.hw.tlb import TLB
+
+__all__ = [
+    "ALPHA_EB164",
+    "AccessResult",
+    "CostMeter",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Disk",
+    "DiskGeometry",
+    "DiskRequest",
+    "DiskResult",
+    "GuardedPageTable",
+    "LinearPageTable",
+    "MMU",
+    "Machine",
+    "PTE",
+    "PhysicalMemory",
+    "QUANTUM_VP3221",
+    "READ",
+    "Region",
+    "TLB",
+    "WRITE",
+]

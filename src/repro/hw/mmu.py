@@ -1,0 +1,122 @@
+"""The MMU: translation plus protection checks, producing faults.
+
+§6.3: placing null-mapping setup in the system domain "allows protection
+faults, page faults and 'unallocated address' faults to be distinguished
+and dispatched to the faulting application". This module implements that
+taxonomy:
+
+* ``UNALLOCATED`` — no PTE exists: the address is not part of any stretch.
+* ``PROTECTION``  — the accessing protection domain lacks the right.
+* ``PAGE``        — the PTE is a null/invalid mapping (no frame behind it).
+
+Reads/writes that hit an armed FOR/FOW bit are handled *inside* the MMU
+(the PALcode DFault path of footnote 8): the bit is cleared,
+referenced/dirty is set, and the access proceeds — no fault is
+dispatched to the application.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.hw.tlb import TLB
+
+
+class AccessKind(Enum):
+    """What the instruction was trying to do."""
+
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+
+
+class FaultCode(Enum):
+    """The fault taxonomy dispatched to applications."""
+
+    UNALLOCATED = "unallocated"
+    PROTECTION = "protection"
+    PAGE = "page"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of an MMU access check.
+
+    ``ok`` accesses carry the translated PFN; faulting accesses carry the
+    fault code. ``software_assist`` notes that the access took the
+    PALcode DFault path (FOR/FOW bit handling).
+    """
+
+    ok: bool
+    va: int
+    kind: AccessKind
+    pfn: Optional[int] = None
+    fault: Optional[FaultCode] = None
+    software_assist: bool = False
+
+
+class MMU:
+    """Checks accesses against the page table and a protection domain.
+
+    The MMU does not know about stretches as objects — only about the
+    stretch id stored in each PTE and the rights the current protection
+    domain grants for that id. That mirrors the hardware/PAL split in
+    the paper: rights are consulted per access, translations are cached.
+    """
+
+    def __init__(self, machine, pagetable, meter, tlb_capacity=64):
+        self.machine = machine
+        self.pagetable = pagetable
+        self.meter = meter
+        self.tlb = TLB(meter, capacity=tlb_capacity)
+        self.assists = 0  # FOR/FOW software-assist count
+
+    def _lookup(self, vpn):
+        """TLB-then-page-table translation lookup."""
+        pte = self.tlb.lookup(vpn)
+        if pte is not None:
+            return pte
+        pte = self.pagetable.lookup(vpn)
+        if pte is not None and pte.valid:
+            self.tlb.fill(vpn, pte)
+        return pte
+
+    def access(self, protdom, va, kind):
+        """Simulate one memory access by a thread in ``protdom``.
+
+        Returns an :class:`AccessResult`; never raises for faults — the
+        kernel decides what to do with them (dispatch to the domain).
+        """
+        vpn = self.machine.page_of(va)
+        pte = self._lookup(vpn)
+        if pte is None:
+            return AccessResult(False, va, kind, fault=FaultCode.UNALLOCATED)
+        rights = protdom.rights_for(pte.sid)
+        if not rights.permits(kind):
+            return AccessResult(False, va, kind, fault=FaultCode.PROTECTION)
+        if not pte.valid or pte.pfn is None:
+            return AccessResult(False, va, kind, fault=FaultCode.PAGE)
+        assist = False
+        if kind is AccessKind.READ and pte.fault_on_read:
+            # PALcode DFault: record the reference, clear FOR, continue.
+            self.meter.charge("pal_trap")
+            pte.fault_on_read = False
+            pte.referenced = True
+            assist = True
+        elif kind is AccessKind.WRITE and pte.fault_on_write:
+            self.meter.charge("pal_trap")
+            pte.fault_on_write = False
+            pte.dirty = True
+            pte.referenced = True
+            assist = True
+        if assist:
+            self.assists += 1
+        return AccessResult(True, va, kind, pfn=pte.pfn, software_assist=assist)
+
+    def invalidate(self, vpn):
+        """Invalidate any cached translation for ``vpn``.
+
+        Must be called whenever a mapping is removed or changed; the
+        translation system does so.
+        """
+        self.tlb.invalidate(vpn)

@@ -1,0 +1,174 @@
+"""Physical memory: an array of frames organised into regions.
+
+The frames allocator (:mod:`repro.mm.frames`) implements *policy* —
+contracts, guarantees, revocation. This module is the *mechanism*: it
+knows which frames exist, which region each belongs to (main memory vs.
+special I/O regions such as DMA-capable memory, §6.2's footnote), and
+which frames are currently unallocated. It deliberately knows nothing
+about domains or quotas.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of physical frames with common properties.
+
+    Attributes:
+        name: region name ("main", "dma", ...).
+        start: first PFN of the region.
+        frames: number of frames.
+        is_main: True for ordinary main memory (subject to guaranteed /
+            optimistic accounting); False for I/O space, where the
+            paper's guaranteed/optimistic distinction does not apply.
+    """
+
+    name: str
+    start: int
+    frames: int
+    is_main: bool = True
+
+    @property
+    def end(self):
+        """One past the last PFN."""
+        return self.start + self.frames
+
+    def __contains__(self, pfn):
+        return self.start <= pfn < self.end
+
+
+class PhysicalMemory:
+    """Tracks free/used state of every physical frame.
+
+    Supports the allocation styles §6.2 requires: "a domain may request
+    specific physical frames, or frames within a 'special' region", plus
+    a default policy (lowest free PFN in main memory). Frame *ownership*
+    is recorded in the RamTab (:mod:`repro.mm.ramtab`), not here.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.regions: List[Region] = []
+        pfn = 0
+        main_frames = machine.phys_mem_bytes // machine.page_size
+        self.regions.append(Region("main", pfn, main_frames, is_main=True))
+        pfn += main_frames
+        for name, nbytes in machine.io_regions:
+            frames = nbytes // machine.page_size
+            self.regions.append(Region(name, pfn, frames, is_main=False))
+            pfn += frames
+        self.total_frames = pfn
+        self._free = [True] * pfn
+        self._free_count = pfn
+        # Free-scan hint per region: lowest PFN that might be free.
+        self._hints = {region.name: region.start for region in self.regions}
+
+    # -- queries ---------------------------------------------------------
+
+    def region_of(self, pfn) -> Region:
+        """The region containing ``pfn`` (raises on bad PFN)."""
+        for region in self.regions:
+            if pfn in region:
+                return region
+        raise ValueError("PFN %d out of range" % pfn)
+
+    def region(self, name) -> Region:
+        """Look up a region by name."""
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError("no region named %r" % name)
+
+    def is_free(self, pfn):
+        """True if the frame is unallocated."""
+        if not 0 <= pfn < self.total_frames:
+            raise ValueError("PFN %d out of range" % pfn)
+        return self._free[pfn]
+
+    @property
+    def free_frames(self):
+        """Total number of unallocated frames across all regions."""
+        return self._free_count
+
+    def free_in_region(self, name):
+        """Number of unallocated frames in the named region."""
+        region = self.region(name)
+        return sum(1 for pfn in range(region.start, region.end) if self._free[pfn])
+
+    # -- allocation ------------------------------------------------------
+
+    def take(self, pfn):
+        """Allocate a specific frame; raises if it is already in use."""
+        if not self.is_free(pfn):
+            raise ValueError("PFN %d is already allocated" % pfn)
+        self._free[pfn] = False
+        self._free_count -= 1
+        return pfn
+
+    def take_any(self, region_name="main") -> Optional[int]:
+        """Allocate the lowest free frame in a region, or None if full."""
+        region = self.region(region_name)
+        start = max(self._hints[region.name], region.start)
+        for pfn in range(start, region.end):
+            if self._free[pfn]:
+                self._hints[region.name] = pfn + 1
+                return self.take(pfn)
+        # The hint may have skipped frames freed behind it; rescan once.
+        for pfn in range(region.start, start):
+            if self._free[pfn]:
+                self._hints[region.name] = pfn + 1
+                return self.take(pfn)
+        return None
+
+    def take_any_coloured(self, colour, ncolours, region_name="main"):
+        """Allocate the lowest free frame of a given cache colour.
+
+        Page colouring (§6.2 / Bershad et al. [30]): frames whose
+        ``pfn % ncolours == colour`` map to the same large-cache bins,
+        so an application with platform knowledge can place its pages
+        to avoid conflict misses. Returns a PFN or None.
+        """
+        if not 0 <= colour < ncolours:
+            raise ValueError("colour %d out of range [0, %d)"
+                             % (colour, ncolours))
+        region = self.region(region_name)
+        first = region.start + ((colour - region.start) % ncolours)
+        for pfn in range(first, region.end, ncolours):
+            if self._free[pfn]:
+                return self.take(pfn)
+        return None
+
+    def take_contiguous(self, count, region_name="main", align=None):
+        """Allocate ``count`` physically contiguous frames.
+
+        ``align`` (default: ``count`` rounded up to a power of two)
+        aligns the run's base PFN — the requirement for superpage TLB
+        mappings. Returns the list of PFNs, or None if no run exists.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if align is None:
+            align = 1 << (count - 1).bit_length()
+        if align < 1 or align & (align - 1):
+            raise ValueError("align must be a positive power of two")
+        region = self.region(region_name)
+        base = region.start + (-region.start % align)
+        while base + count <= region.end:
+            if all(self._free[pfn] for pfn in range(base, base + count)):
+                return [self.take(pfn) for pfn in range(base, base + count)]
+            base += align
+        return None
+
+    def release(self, pfn):
+        """Return a frame to the free pool."""
+        if not 0 <= pfn < self.total_frames:
+            raise ValueError("PFN %d out of range" % pfn)
+        if self._free[pfn]:
+            raise ValueError("PFN %d is already free" % pfn)
+        self._free[pfn] = True
+        self._free_count += 1
+        region = self.region_of(pfn)
+        if pfn < self._hints[region.name]:
+            self._hints[region.name] = pfn

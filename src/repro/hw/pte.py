@@ -1,0 +1,87 @@
+"""Page-table entries.
+
+A Nemesis PTE records the physical frame (if any), validity, the owning
+stretch (protection is at stretch granularity — the PTE itself carries
+the stretch id and the per-protection-domain rights are consulted at
+access time), and the Alpha-style software bits:
+
+* ``FOR`` / ``FOW`` — *fault on read* / *fault on write*. The paper's
+  footnote 8: "We implement 'dirty' and 'referenced' using the FOR/FOW
+  bits; these are set by software and cleared by the PALCODE DFault
+  routine." We model exactly that: the MMU clears the bit and sets
+  ``referenced``/``dirty`` on first access without dispatching a fault
+  to the application.
+* ``dirty`` / ``referenced`` — the software-maintained bits the ``dirty``
+  microbenchmark reads.
+
+A PTE whose ``pfn`` is ``None`` is a *null mapping*: the virtual address
+has been allocated (so the entry exists, holding protection information)
+but has no backing yet — access causes a page fault delivered to the
+owning application (§6.3).
+"""
+
+
+class PTE:
+    """One page-table entry. Mutable by design — the translation system
+    updates entries in place, as hardware page tables are updated."""
+
+    __slots__ = ("sid", "pfn", "valid", "fault_on_read", "fault_on_write",
+                 "dirty", "referenced", "nailed", "attrs")
+
+    def __init__(self, sid):
+        self.sid = sid                # owning stretch id
+        self.pfn = None               # physical frame, None = null mapping
+        self.valid = False            # translation usable
+        self.fault_on_read = False    # FOR bit (referenced emulation)
+        self.fault_on_write = False   # FOW bit (dirty emulation)
+        self.dirty = False
+        self.referenced = False
+        self.nailed = False           # frame may not be unmapped/revoked
+        self.attrs = 0                # opaque machine-dependent attributes
+
+    @property
+    def mapped(self):
+        """True if the entry maps a physical frame."""
+        return self.pfn is not None
+
+    def make_null(self):
+        """Reset to a null mapping (allocated address, no backing)."""
+        self.pfn = None
+        self.valid = False
+        self.fault_on_read = False
+        self.fault_on_write = False
+        self.dirty = False
+        self.referenced = False
+        self.nailed = False
+
+    def map(self, pfn, attrs=0, track_usage=True):
+        """Install a mapping to ``pfn``.
+
+        With ``track_usage`` the FOR/FOW bits are armed so the first
+        read/write will set referenced/dirty (the paper's software
+        dirty-bit scheme).
+        """
+        self.pfn = pfn
+        self.valid = True
+        self.attrs = attrs
+        self.dirty = False
+        self.referenced = False
+        self.fault_on_read = bool(track_usage)
+        self.fault_on_write = bool(track_usage)
+
+    def __repr__(self):
+        if not self.mapped:
+            return "<PTE sid=%s null>" % (self.sid,)
+        bits = "".join(
+            flag
+            for flag, on in (
+                ("V", self.valid),
+                ("R", self.referenced),
+                ("D", self.dirty),
+                ("r", self.fault_on_read),
+                ("w", self.fault_on_write),
+                ("N", self.nailed),
+            )
+            if on
+        )
+        return "<PTE sid=%s pfn=%d %s>" % (self.sid, self.pfn, bits)

@@ -1,0 +1,70 @@
+"""A small software-model TLB.
+
+The Alpha 21164 had software-managed translation buffers; Nemesis's
+low-level translation system handled TLB misses by walking the linear
+page table. We model a simple LRU TLB so that (a) hit/miss statistics
+are available, and (b) protection and mapping changes must invalidate
+entries — forgetting an invalidation is a real OS bug class, and the
+tests exercise it.
+
+The TLB caches *translations only*; rights are checked against the
+protection domain on every access (as with ASN-tagged entries, a
+protection-domain switch does not require a TLB flush — the paper's
+protection-domain route for (un)protect is fast precisely because it
+does not touch PTEs or the TLB).
+"""
+
+from collections import OrderedDict
+
+
+class TLB:
+    """LRU translation look-aside buffer mapping VPN -> PTE."""
+
+    def __init__(self, meter, capacity=64):
+        if capacity < 1:
+            raise ValueError("TLB capacity must be >= 1")
+        self.meter = meter
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def lookup(self, vpn):
+        """Return the cached PTE for ``vpn`` or None (counts hit/miss)."""
+        pte = self._entries.get(vpn)
+        if pte is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(vpn)
+        return pte
+
+    def fill(self, vpn, pte):
+        """Install a translation after a page-table walk."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        self._entries[vpn] = pte
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, vpn):
+        """Drop the entry for ``vpn`` if present (charges the shoot-down)."""
+        self.meter.charge("tlb_invalidate")
+        self.invalidations += 1
+        self._entries.pop(vpn, None)
+
+    def invalidate_all(self):
+        """Full flush (charged as a single invalidation, as on Alpha)."""
+        self.meter.charge("tlb_invalidate")
+        self.invalidations += 1
+        self._entries.clear()
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups that hit (0.0 if no lookups yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,58 @@
+"""The Nemesis kernel: the thin layer below self-paging applications.
+
+Nemesis removes paging (and almost everything else) from the kernel;
+what remains, and what this package models, is:
+
+* :mod:`repro.kernel.events` — event channels, "an extremely lightweight
+  primitive ... an event 'transmission' involves a few sanity checks
+  followed by the increment of a 64-bit value" (§6.4).
+* :mod:`repro.kernel.threads` — user-level threads and the *effects*
+  they yield (compute, memory touches, waits); the user-level thread
+  scheduler lives in the domain, not the kernel.
+* :mod:`repro.kernel.domain` — domains (the Nemesis analogue of a
+  process), activations and notification handlers (§6.5): on activation
+  a domain first runs notification handlers for new events (a limited
+  environment where IDC is forbidden), then enters its ULTS.
+* :mod:`repro.kernel.cpu` — CPU schedulers: the Atropos-based scheduler
+  (guarantees for compute time) plus simpler FIFO/unlimited models used
+  where CPU contention is not under study.
+* :mod:`repro.kernel.kernel` — fault dispatch (§6.4): save context, send
+  an event to the *faulting* domain, done. No kernel paging, no blocking
+  in the kernel on behalf of user state.
+"""
+
+from repro.kernel.cpu import AtroposCpu, CpuAccount, FifoCpu, UnlimitedCpu
+from repro.kernel.domain import Domain
+from repro.kernel.events import EventChannel
+from repro.kernel.idc import IDCBinding, IDCError, IDCService
+from repro.kernel.kernel import FaultRecord, Kernel
+from repro.kernel.threads import (
+    Compute,
+    Thread,
+    ThreadDied,
+    ThreadState,
+    Touch,
+    Wait,
+    Yield,
+)
+
+__all__ = [
+    "AtroposCpu",
+    "Compute",
+    "CpuAccount",
+    "Domain",
+    "EventChannel",
+    "FaultRecord",
+    "FifoCpu",
+    "IDCBinding",
+    "IDCError",
+    "IDCService",
+    "Kernel",
+    "Thread",
+    "ThreadDied",
+    "ThreadState",
+    "Touch",
+    "UnlimitedCpu",
+    "Wait",
+    "Yield",
+]

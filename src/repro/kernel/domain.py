@@ -1,0 +1,263 @@
+"""Domains: activations, notification handlers and the ULTS.
+
+A *domain* is the Nemesis analogue of a process (paper footnote 2). The
+execution model (§6.5) is:
+
+1. The kernel activates the domain when it has new events.
+2. Inside the *activation handler* — "a limited execution environment
+   where further activations are disallowed" and IDC is impossible — the
+   user-level event demultiplexer invokes the notification handler of
+   each endpoint with new events.
+3. The user-level thread scheduler (ULTS) is then entered and picks a
+   thread to run.
+
+A notification handler that needs to communicate (e.g. a paged stretch
+driver that must talk to the USD) simply unblocks a *worker thread*; the
+combination is an *entry* (the MMEntry, in :mod:`repro.mm.mmentry`).
+
+The domain is implemented as one simulator process which alternates
+between handling pending events and stepping runnable threads,
+acquiring CPU from the CPU scheduler for every burst. All costs flow
+through the shared :class:`~repro.hw.cpu.CostMeter`: kernel and MMU code
+charge primitives as they execute, and the domain converts the
+accumulated nanoseconds into scheduled compute time after each step —
+so the live experiments and the Table 1 microbenchmarks price code
+paths identically.
+"""
+
+from repro.kernel.events import EventChannel
+from repro.kernel.threads import (
+    Compute,
+    Thread,
+    ThreadState,
+    Touch,
+    Wait,
+    Yield,
+)
+
+
+class ActivationViolation(Exception):
+    """An operation illegal inside an activation handler was attempted
+    (e.g. a notification handler tried to block)."""
+
+
+class Domain:
+    """A protected execution environment with its own threads.
+
+    Key collaborators, injected at construction:
+
+    * ``kernel`` — for memory accesses and fault dispatch;
+    * ``protdom`` — the protection domain the threads execute in;
+    * ``cpu_account`` — handle on the CPU scheduler.
+    """
+
+    _next_id = 0
+
+    def __init__(self, sim, kernel, name, protdom, cpu_account):
+        Domain._next_id += 1
+        self.id = Domain._next_id
+        self.sim = sim
+        self.kernel = kernel
+        self.name = name or "domain-%d" % self.id
+        self.protdom = protdom
+        self.cpu = cpu_account
+        self.meter = kernel.meter
+        self.channels = []
+        self.threads = []
+        self.dead = False
+        self.activations = 0
+        self.in_activation_handler = False
+        self._wake = sim.event("%s.wake" % self.name)
+        self._last_thread = None
+        self._rr_next = 0
+        self.fault_channel = self.create_channel("fault")
+        self.proc = sim.spawn(self._run(), name="domain-%s" % self.name)
+
+    # -- construction helpers ------------------------------------------------
+
+    def create_channel(self, name, handler=None):
+        """Create an event channel owned (received) by this domain."""
+        channel = EventChannel(self.sim, "%s.%s" % (self.name, name),
+                               meter=self.meter)
+        channel.attach(self, handler)
+        self.channels.append(channel)
+        return channel
+
+    def add_thread(self, gen, name=""):
+        """Create a thread from generator ``gen``; runs when scheduled."""
+        thread = Thread(self, gen, name=name)
+        self.threads.append(thread)
+        self._kick()
+        return thread
+
+    # -- kernel interface ------------------------------------------------------
+
+    def _kick(self):
+        if not self._wake.triggered:
+            self._wake.trigger(None)
+
+    def resume_thread(self, thread, value=None):
+        """Mark a faulted/blocked thread runnable (fault resolved)."""
+        thread.unblock(value)
+
+    def kill(self, reason=""):
+        """Destroy the domain: all threads die, the process stops.
+
+        This is the penalty leg of the intrusive-revocation protocol
+        (§6.2): a domain that misses the revocation deadline "is killed
+        and all of its frames reclaimed" (the reclaim is done by the
+        frames allocator).
+        """
+        if self.dead:
+            return
+        self.dead = True
+        for thread in self.threads:
+            thread.kill(reason)
+        self.proc.interrupt(reason)
+
+    # -- execution ----------------------------------------------------------------
+
+    def _has_pending_events(self):
+        return any(channel.pending for channel in self.channels)
+
+    def _runnable_thread(self):
+        """Round-robin choice among runnable threads."""
+        n = len(self.threads)
+        for offset in range(n):
+            thread = self.threads[(self._rr_next + offset) % n]
+            if thread.runnable:
+                self._rr_next = (self._rr_next + offset + 1) % n
+                return thread
+        return None
+
+    def _charge_meter(self):
+        """Convert accumulated primitive costs into scheduled CPU time."""
+        ns = self.meter.take()
+        if ns:
+            return self.cpu.consume(ns)
+        return None
+
+    def _run(self):
+        sim = self.sim
+        while not self.dead:
+            has_events = self._has_pending_events()
+            thread = None if has_events else self._runnable_thread()
+            if not has_events and thread is None:
+                if self._wake.triggered:
+                    self._wake = sim.event("%s.wake" % self.name)
+                    continue
+                yield self._wake
+                continue
+            if has_events:
+                yield from self._activate()
+                continue
+            yield from self._step(thread)
+
+    def _activate(self):
+        """One activation: drain events through notification handlers."""
+        self.activations += 1
+        self.meter.charge("activate")
+        self.in_activation_handler = True
+        try:
+            for channel in list(self.channels):
+                if not channel.pending:
+                    continue
+                for payload in channel.collect():
+                    self.meter.charge("demux_event")
+                    if channel.handler is not None:
+                        channel.handler(payload)
+        finally:
+            self.in_activation_handler = False
+        # Leaving the activation handler enters the ULTS (§6.5 step 4).
+        self.meter.charge("ults_schedule")
+        burst = self._charge_meter()
+        if burst is not None:
+            yield burst
+
+    def _advance(self, thread):
+        """Advance a thread's generator to its next effect (or death)."""
+        try:
+            if thread.next_throw is not None:
+                exc, thread.next_throw = thread.next_throw, None
+                effect = thread.gen.throw(exc)
+            else:
+                value, thread.next_send = thread.next_send, None
+                effect = thread.gen.send(value)
+        except StopIteration as stop:
+            thread.state = ThreadState.DEAD
+            thread.done.trigger(getattr(stop, "value", None))
+            return None
+        return effect
+
+    def _step(self, thread):
+        """Execute one effect of one thread."""
+        if thread is not self._last_thread:
+            self.meter.charge("thread_switch")
+            self._last_thread = thread
+        effect = thread.pending_effect
+        if effect is None:
+            effect = self._advance(thread)
+            if effect is None:  # thread finished
+                burst = self._charge_meter()
+                if burst is not None:
+                    yield burst
+                return
+            thread.pending_effect = effect
+
+        if isinstance(effect, Compute):
+            thread.pending_effect = None
+            total = effect.ns + self.meter.take()
+            if total:
+                yield self.cpu.consume(total, label=effect.label)
+        elif isinstance(effect, Touch):
+            yield from self._step_touch(thread, effect)
+        elif isinstance(effect, Wait):
+            thread.pending_effect = None
+            event = effect.event
+            if event.triggered:
+                if event.ok:
+                    thread.next_send = event.value
+                else:
+                    thread.next_throw = event._value
+            else:
+                thread.state = ThreadState.BLOCKED
+                event.add_callback(
+                    lambda ev, t=thread: self._event_wakeup(t, ev))
+            burst = self._charge_meter()
+            if burst is not None:
+                yield burst
+        elif isinstance(effect, Yield):
+            thread.pending_effect = None
+            thread.next_send = None
+        else:
+            raise TypeError(
+                "thread %s yielded %r; threads must yield Compute/Touch/"
+                "Wait/Yield effects" % (thread.name, effect))
+
+    def _step_touch(self, thread, effect):
+        result = self.kernel.access(self.protdom, effect.va, effect.kind)
+        if result.ok:
+            thread.pending_effect = None
+            thread.next_send = result
+        else:
+            # Trap: block the thread and dispatch the fault to *this*
+            # domain (self-paging — nobody else will handle it).
+            thread.state = ThreadState.FAULTED
+            thread.faults += 1
+            self.kernel.dispatch_fault(self, thread, result)
+        burst = self._charge_meter()
+        if burst is not None:
+            yield burst
+
+    def _event_wakeup(self, thread, event):
+        if thread.state is not ThreadState.BLOCKED:
+            return  # killed or already resumed
+        if event.ok:
+            thread.next_send = event._value
+        else:
+            thread.next_throw = event._value
+        thread.state = ThreadState.RUNNABLE
+        self._kick()
+
+    def __repr__(self):
+        return "<Domain %s threads=%d>" % (self.name, len(self.threads))

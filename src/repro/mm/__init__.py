@@ -1,0 +1,85 @@
+"""The self-paging memory system — the paper's contribution.
+
+Layout of the package (§6 of the paper):
+
+* :mod:`repro.mm.rights` / :mod:`repro.mm.protdom` — stretch-granularity
+  protection: every protection domain maps valid stretches to a subset
+  of {read, write, execute, meta}; *meta* authorises changing mappings
+  and protections (§6.1).
+* :mod:`repro.mm.stretch` / :mod:`repro.mm.stretch_allocator` — stretches
+  (ranges of the single virtual address space) and their centralised
+  allocation (§6.1).
+* :mod:`repro.mm.ramtab` — the RamTab: per-frame owner / width / state,
+  simple enough for low-level validation code (§6.3).
+* :mod:`repro.mm.framestack` — per-application frame stacks ordered by
+  revocation preference (§6.2).
+* :mod:`repro.mm.frames` — the frames allocator: guaranteed/optimistic
+  contracts, admission control, transparent and intrusive revocation
+  with deadline and domain-kill (§6.2).
+* :mod:`repro.mm.translation` — the split translation system: high-level
+  (system-domain page-table management, null mappings) and low-level
+  (map/unmap/trans syscalls with meta-right and RamTab validation, §6.3).
+* :mod:`repro.mm.sdriver`, :mod:`repro.mm.nailed`,
+  :mod:`repro.mm.physical`, :mod:`repro.mm.paged` — stretch drivers
+  (§6.6), including the paged driver's blok-bitmap swap allocation
+  (:mod:`repro.mm.bloks`) and the "forgetful" variant used by the
+  paging-out experiment (Figure 8).
+* :mod:`repro.mm.mmentry` — the MMEntry: fault/revocation notification
+  handlers plus worker threads (§6.5).
+"""
+
+from repro.mm.balancer import BalancerDecision, MemoryBalancer
+from repro.mm.bloks import BlokMap
+from repro.mm.clockdriver import ClockPagedDriver
+from repro.mm.debug import ConsistencyError, check_consistency
+from repro.mm.frames import FramesAllocator, FramesClient, RevocationRequest
+from repro.mm.framestack import FrameStack
+from repro.mm.mapped import MappedFileDriver
+from repro.mm.mmentry import MMEntry
+from repro.mm.nailed import NailedDriver
+from repro.mm.paged import ForgetfulPagedDriver, PagedDriver
+from repro.mm.physical import PhysicalDriver
+from repro.mm.protdom import ProtectionDomain
+from repro.mm.ramtab import FrameState, RamTab
+from repro.mm.rights import Right, Rights
+from repro.mm.sdriver import FaultOutcome, StretchDriver
+from repro.mm.stream import StreamPagedDriver
+from repro.mm.stretch import Stretch
+from repro.mm.stretch_allocator import StretchAllocator
+from repro.mm.translation import (
+    MappingError,
+    NotAuthorized,
+    TranslationSystem,
+)
+
+__all__ = [
+    "BalancerDecision",
+    "BlokMap",
+    "ClockPagedDriver",
+    "ConsistencyError",
+    "FaultOutcome",
+    "ForgetfulPagedDriver",
+    "FrameStack",
+    "FrameState",
+    "FramesAllocator",
+    "FramesClient",
+    "MMEntry",
+    "MappedFileDriver",
+    "MappingError",
+    "MemoryBalancer",
+    "NailedDriver",
+    "NotAuthorized",
+    "PagedDriver",
+    "PhysicalDriver",
+    "ProtectionDomain",
+    "RamTab",
+    "RevocationRequest",
+    "Right",
+    "Rights",
+    "StreamPagedDriver",
+    "Stretch",
+    "StretchAllocator",
+    "StretchDriver",
+    "TranslationSystem",
+    "check_consistency",
+]

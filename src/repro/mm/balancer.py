@@ -1,0 +1,159 @@
+"""A centralised global-memory balancer (the §8 open problem).
+
+The paper's honest caveat about self-paging: "The strategy of
+allocating resources directly to applications certainly gives them
+more control, but means that optimisations for global benefit are not
+directly enforced. Ongoing work is looking at both centralised and
+devolved solutions to this issue."
+
+This module is one such *centralised* solution, built entirely from
+mechanisms the paper already defines — it needs no new kernel support:
+
+* it observes each client's **fault pressure** (faults dispatched per
+  sampling period, a quantity the kernel already counts);
+* it hands **optimistic frames** from the free pool to the clients with
+  the highest pressure (optimistic memory is revocable, so this is
+  always safe);
+* when the pool is dry, it **rebalances**: frames are revoked (via the
+  standard transparent/intrusive protocol) from low-pressure clients
+  holding optimistic memory and granted to high-pressure ones.
+
+Guarantees are never touched: the balancer only ever moves memory that
+the contracts declare revocable, so QoS firewalling is preserved — the
+balancer optimises the slack, not the promises.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.units import MS, SEC
+
+
+@dataclass
+class BalancerDecision:
+    """One sampling period's observation and action."""
+
+    time: int
+    pressures: Dict[str, float]       # client name -> faults/s
+    granted: Dict[str, int]           # frames granted this period
+    rebalanced: int                   # frames moved between clients
+
+
+class MemoryBalancer:
+    """Periodically redistribute optimistic memory by fault pressure."""
+
+    def __init__(self, system, period=500 * MS, grant_batch=8,
+                 min_pressure=2.0, headroom_frames=None,
+                 pressure_ratio=4.0):
+        """Args:
+            system: the NemesisSystem to balance.
+            period: sampling interval.
+            grant_batch: frames granted to the neediest client per round.
+            min_pressure: faults/s below which a client is "content".
+            headroom_frames: free frames always left untouched (default:
+                the allocator's system reserve).
+            pressure_ratio: rebalancing moves memory only when the needy
+                client faults at least this much harder than the donor.
+        """
+        self.system = system
+        self.period = period
+        self.grant_batch = grant_batch
+        self.min_pressure = min_pressure
+        self.headroom = (system.frames_allocator.system_reserve
+                         if headroom_frames is None else headroom_frames)
+        self.pressure_ratio = pressure_ratio
+        self.decisions: List[BalancerDecision] = []
+        self._last_faults = {}
+        self._proc = system.sim.spawn(self._run(), name="memory-balancer")
+
+    # -- observation -----------------------------------------------------
+
+    def _clients(self):
+        return [c for c in self.system.frames_allocator.clients
+                if not c.killed and c.domain is not None]
+
+    def _pressures(self):
+        """Faults/s per client since the last sample."""
+        out = {}
+        seconds = self.period / SEC
+        for client in self._clients():
+            count = client.domain.fault_channel.sent
+            name = client.domain.name
+            previous = self._last_faults.get(name, count)
+            self._last_faults[name] = count
+            out[name] = (count - previous) / seconds
+        return out
+
+    # -- policy --------------------------------------------------------------
+
+    def _neediest(self, pressures):
+        best, best_pressure = None, self.min_pressure
+        for client in self._clients():
+            pressure = pressures.get(client.domain.name, 0.0)
+            if (pressure > best_pressure
+                    and client.allocated < client.quota):
+                best, best_pressure = client, pressure
+        return best
+
+    def _donor(self, pressures, exclude):
+        """A content client with optimistic memory to spare."""
+        best = None
+        for client in self._clients():
+            if client is exclude or client.optimistic <= 0:
+                continue
+            pressure = pressures.get(client.domain.name, 0.0)
+            if pressure > self.min_pressure:
+                continue
+            if best is None or client.optimistic > best.optimistic:
+                best = client
+        return best
+
+    def _run(self):
+        sim = self.system.sim
+        physmem = self.system.physmem
+        while True:
+            yield sim.timeout(self.period)
+            pressures = self._pressures()
+            granted = {}
+            rebalanced = 0
+            needy = self._neediest(pressures)
+            if needy is not None:
+                # 1. Free memory first: always safe to hand out.
+                spare = physmem.free_in_region("main") - self.headroom
+                take = min(self.grant_batch, max(spare, 0),
+                           needy.quota - needy.allocated)
+                if take > 0:
+                    pfns = needy.allocator._alloc_sync(needy, take, "main",
+                                                       None)
+                    if pfns:
+                        self._notify_granted(needy, pfns)
+                        granted[needy.domain.name] = len(pfns)
+                # 2. Rebalance from a decisively more content client.
+                elif (donor := self._donor(pressures, needy)) is not None:
+                    donor_pressure = pressures.get(donor.domain.name, 0.0)
+                    needy_pressure = pressures.get(needy.domain.name, 0.0)
+                    if needy_pressure >= self.pressure_ratio * max(
+                            donor_pressure, self.min_pressure):
+                        want = min(self.grant_batch, donor.optimistic,
+                                   needy.quota - needy.allocated)
+                        if want > 0:
+                            transfer = self.system.frames_allocator.transfer(
+                                donor, needy, want)
+                            pfns = yield transfer
+                            if pfns:
+                                self._notify_granted(needy, pfns)
+                                rebalanced = len(pfns)
+            self.decisions.append(BalancerDecision(
+                time=sim.now, pressures=pressures, granted=granted,
+                rebalanced=rebalanced))
+
+    def _notify_granted(self, client, pfns):
+        """Hand the new frames to the client's paged driver pool.
+
+        Centralised-but-polite: the frames land in the driver's free
+        pool exactly as if the application had requested them.
+        """
+        for app in getattr(self.system, "apps", []):
+            if app.domain is client.domain and app.drivers:
+                app.drivers[0].adopt_frames(pfns)
+                return

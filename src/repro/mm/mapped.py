@@ -1,0 +1,92 @@
+"""Memory-mapped files: a stretch driver backed by a file, not swap.
+
+The conclusion of the paper names memory-mapped files as one of the VM
+techniques a continuous-media OS must not lose. In the self-paging
+architecture they need no new mechanism at all: a mapped file is just a
+stretch whose driver's backing store is a :class:`~repro.usd.files.File`
+instead of an anonymous swap file.
+
+:class:`MappedFileDriver` builds on the *stream-paging* driver, so a
+sequentially-scanned mapped file is prefetched automatically:
+
+* every page has an initial disk copy (the file's contents), so first
+  touch pages in rather than demand-zeroing;
+* page ``i`` of the stretch maps to page ``i`` of the file (no blok
+  allocation);
+* dirty pages are written back to their file location on eviction, and
+  :meth:`sync` (msync) force-writes everything dirty.
+"""
+
+from repro.kernel.threads import Wait
+from repro.mm.stream import StreamPagedDriver
+
+
+class MappedFileDriver(StreamPagedDriver):
+    """Backs a stretch with a file's contents (mmap semantics)."""
+
+    kind = "mapped-file"
+
+    def __init__(self, name, domain, frames_client, translation, file,
+                 prefetch_depth=4):
+        super().__init__(name, domain, frames_client, translation,
+                         swap=file, prefetch_depth=prefetch_depth)
+        self.file = file
+
+    # -- the file/swap differences -------------------------------------------
+
+    def bind(self, stretch):
+        """Bind; the stretch must fit in the file."""
+        if stretch.npages > self.file.nbloks:
+            raise ValueError(
+                "stretch of %d pages exceeds file %s (%d pages)"
+                % (stretch.npages, self.file.name, self.file.nbloks))
+        if self.stretches:
+            raise ValueError("a mapped-file driver backs exactly one "
+                             "stretch")
+        super().bind(stretch)
+        # Every page has an initial on-disk copy: the file's contents.
+        for index in range(stretch.npages):
+            vpn = stretch.base_vpn + index
+            self._on_disk[vpn] = index
+            self._blok_of[vpn] = index
+        return stretch
+
+    def _assign_blok(self, vpn):
+        # Fixed file layout: page i of the stretch <-> page i of the file.
+        return self._blok_of[vpn]
+
+    def _note_dirtied_or_zeroed(self, vpn):
+        # Unlike anonymous memory, a file page never loses its backing
+        # location; a dirtied page is simply written back there.
+        pass
+
+    # -- msync ------------------------------------------------------------------
+
+    def dirty_pages(self):
+        """VPNs of resident pages modified since their last write-back."""
+        out = []
+        for vpn in self._resident:
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is not None and pte.mapped and pte.dirty:
+                out.append(vpn)
+        return out
+
+    def sync(self):
+        """Generator (thread effects): write back all dirty pages.
+
+        The pages stay mapped; their dirty bits are re-armed so later
+        writes are tracked again (msync semantics).
+        """
+        written = 0
+        for vpn in list(self.dirty_pages()):
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is None or not pte.mapped or not pte.dirty:
+                continue
+            yield Wait(self.swap.channel.slot())
+            yield Wait(self.swap.write(self._blok_of[vpn]))
+            self.pageouts += 1
+            written += 1
+            # Clean now; re-arm write tracking.
+            pte.dirty = False
+            pte.fault_on_write = True
+        return written

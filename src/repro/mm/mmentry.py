@@ -1,0 +1,172 @@
+"""The MMEntry: the memory-management entry of a domain.
+
+§6.5: "An entry called the MMEntry is used to handle memory management
+events. The notification handler of the MMEntry is attached to the
+endpoint used by the kernel for fault dispatching ... It is also
+entered when the frames allocator performs a revocation notification.
+The 'top' part of the MMEntry consists of one or more worker threads
+which can be unblocked by the notification handler.
+
+The MMEntry does not directly handle memory faults or revocation
+requests: rather it coordinates the set of stretch drivers used by the
+domain:
+
+* If handling a memory fault, it uses the faulting stretch to look up
+  the stretch driver bound to that stretch and then invokes it.
+* If handling a revocation notification, it cycles through each stretch
+  driver requesting that it relinquish frames until enough have been
+  freed."
+
+The fast-path invocation from inside the notification handler is "merely
+a 'fast path' optimisation"; on ``Retry`` the faulting thread stays
+blocked and a worker finishes the job once activations are on.
+"""
+
+from collections import deque
+
+from repro.hw.mmu import FaultCode
+from repro.kernel.threads import Compute, Wait
+from repro.mm.sdriver import FaultOutcome
+
+
+class MMEntry:
+    """Notification handlers + worker threads coordinating stretch drivers."""
+
+    def __init__(self, domain, frames_client, pagetable, workers=1):
+        self.domain = domain
+        self.sim = domain.sim
+        self.meter = domain.meter
+        self.frames = frames_client
+        self.pagetable = pagetable
+        self.drivers = []              # registration order
+        self._by_sid = {}
+        self._work = deque()           # queued faults / revocations
+        self._work_event = None
+        self.fast_resolved = 0
+        self.slow_resolved = 0
+        self.failures = 0
+        self.revocations_handled = 0
+        self._fault_overrides = {}     # FaultCode -> handler(fault) -> FaultOutcome
+        # Wire up the endpoints.
+        domain.fault_channel.handler = self._fault_notification
+        self.revocation_channel = domain.create_channel(
+            "revocation", handler=self._revocation_notification)
+        frames_client.revocation_channel = self.revocation_channel
+        for index in range(workers):
+            domain.add_thread(self._worker_body(),
+                              name="%s-mmworker-%d" % (domain.name, index))
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, driver):
+        """Track a stretch driver for revocation cycling."""
+        if driver not in self.drivers:
+            self.drivers.append(driver)
+
+    def bind(self, stretch, driver):
+        """Bind a stretch to a driver and index it for fault demux."""
+        driver.bind(stretch)
+        self.register(driver)
+        self._by_sid[stretch.sid] = driver
+        return stretch
+
+    def driver_for_va(self, va):
+        """Demultiplex a faulting address to its stretch driver."""
+        pte = self.pagetable.peek(self.domain.kernel.machine.page_of(va))
+        if pte is None:
+            return None
+        return self._by_sid.get(pte.sid)
+
+    # -- notification handlers (activation-handler context!) --------------------
+
+    def set_fault_handler(self, code, handler):
+        """Override handling of one fault type with a custom handler.
+
+        The paper's appel1 benchmark "uses a standard (physical) stretch
+        driver with the access violation fault type overridden by a
+        custom fault-handler" — this is that hook. The handler runs in
+        the notification-handler context and returns a
+        :class:`~repro.mm.sdriver.FaultOutcome`.
+        """
+        self._fault_overrides[code] = handler
+
+    def _fault_notification(self, fault):
+        """Handle a fault event: fast path, else queue for a worker."""
+        self.meter.charge("notify_handler")
+        override = self._fault_overrides.get(fault.code)
+        if override is not None:
+            self.meter.charge("fault_decode")
+            outcome = override(fault)
+            if outcome is FaultOutcome.SUCCESS:
+                self.fast_resolved += 1
+                self.domain.resume_thread(fault.thread)
+            elif outcome is FaultOutcome.RETRY:
+                self.meter.charge("thread_block")
+                self._enqueue(("fault", fault,
+                               self.driver_for_va(fault.va)))
+            else:
+                self.failures += 1
+                fault.thread.kill("custom handler failed %s" % fault)
+            return
+        driver = self.driver_for_va(fault.va)
+        if driver is None or fault.code is FaultCode.UNALLOCATED:
+            # No stretch driver responsible: there is no safety net.
+            self.failures += 1
+            fault.thread.kill("unhandled %s" % fault)
+            return
+        self.meter.charge("sdriver_fast")
+        outcome = driver.try_fast(fault)
+        if outcome is FaultOutcome.SUCCESS:
+            self.fast_resolved += 1
+            self.domain.resume_thread(fault.thread)
+        elif outcome is FaultOutcome.RETRY:
+            self.meter.charge("thread_block")
+            self._enqueue(("fault", fault, driver))
+        else:
+            self.failures += 1
+            fault.thread.kill("stretch driver failed %s" % fault)
+
+    def _revocation_notification(self, request):
+        """Queue a revocation request for a worker (IDC is needed)."""
+        self.meter.charge("notify_handler")
+        self.meter.charge("thread_block")
+        self._enqueue(("revoke", request, None))
+
+    def _enqueue(self, work):
+        self._work.append(work)
+        if self._work_event is not None and not self._work_event.triggered:
+            self._work_event.trigger(None)
+
+    # -- worker threads -----------------------------------------------------------
+
+    def _worker_body(self):
+        while True:
+            while self._work:
+                kind, payload, driver = self._work.popleft()
+                yield Compute(self.meter.model["thread_switch"],
+                              label="mmentry-dispatch")
+                if kind == "fault":
+                    ok = yield from driver.handle_slow(payload)
+                    if ok:
+                        self.slow_resolved += 1
+                        self.domain.resume_thread(payload.thread)
+                    else:
+                        self.failures += 1
+                        payload.thread.kill("slow path failed: %s" % payload)
+                else:
+                    yield from self._handle_revocation(payload)
+            self._work_event = self.sim.event("mmentry.work")
+            yield Wait(self._work_event)
+
+    def _handle_revocation(self, request):
+        """Cycle drivers until ``k`` frames are arranged, then reply."""
+        self.revocations_handled += 1
+        remaining = request.k
+        for driver in self.drivers:
+            if remaining <= 0:
+                break
+            arranged = yield from driver.release_frames(remaining)
+            remaining -= arranged
+        # Reply regardless; the allocator verifies the top of the stack
+        # and kills us if we came up short (no safety net, §6.2).
+        self.frames.revocation_ready()

@@ -1,0 +1,66 @@
+"""The nailed stretch driver.
+
+§6.6: "The simplest is the nailed stretch driver; this provides
+physical frames to back a stretch at bind time, and hence never deals
+with page faults." Time-sensitive code uses it for memory that must
+never incur paging delay.
+"""
+
+from repro.mm.sdriver import FaultOutcome, StretchDriver
+
+
+class NailedDriver(StretchDriver):
+    """Backs every page at bind time with nailed frames."""
+
+    kind = "nailed"
+
+    def bind(self, stretch):
+        """Bind and immediately back the whole stretch.
+
+        Allocates ``stretch.npages`` frames from the domain's contract
+        (synchronously — a nailed stretch is an initialisation-time
+        construct) and maps each page nailed.
+        """
+        super().bind(stretch)
+        needed = stretch.npages - len(self._free)
+        if needed > 0:
+            self.provide_frames(needed)
+        for va in stretch.pages():
+            pfn = self._free.pop()
+            self._map_page(va, pfn, nailed=True)
+        return stretch
+
+    def unbind(self, stretch):
+        """Release the stretch's frames (un-nail, unmap, back to pool)."""
+        if self.stretches.pop(stretch.sid, None) is None:
+            raise ValueError("stretch %d not bound to %s" % (stretch.sid,
+                                                             self.name))
+        stretch.driver = None
+        for va in stretch.pages():
+            vpn = self.machine.page_of(va)
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is None or not pte.mapped:
+                continue
+            pte.nailed = False
+            self.translation.ramtab.unnail(pte.pfn)
+            pfn, _dirty = self._unmap_page(vpn)
+            self._free.append(pfn)
+
+    def try_fast(self, fault):
+        # A nailed stretch cannot legitimately fault: the frames are
+        # there. Any fault is a bug (or a protection violation) and there
+        # is no safety net.
+        self.faults_fast += 1
+        return FaultOutcome.FAILURE
+
+    def handle_slow(self, fault):
+        return False
+        yield  # pragma: no cover  (keeps this a generator)
+
+    def release_frames(self, k):
+        """Nailed frames are immune; only pool frames can be offered."""
+        arranged = min(k, len(self._free))
+        for pfn in self._free[:arranged]:
+            self.frames.stack.move_to_top(pfn)
+        return arranged
+        yield  # pragma: no cover

@@ -1,0 +1,278 @@
+"""Stream-paging: the pipelined stretch driver the paper proposes.
+
+§8 (conclusion): "the current stretch driver implementation is immature
+and could be extended to handle additional pipe-lining via a
+'stream-paging' scheme such as that described in [24]" (Mapp's
+object-oriented VM thesis).
+
+The problem stream-paging attacks is the same one laxity attacks from
+the scheduler side: a pure demand pager has at most one transaction
+outstanding, so the disk idles between its faults. Instead of holding
+the disk for the client (laxity), the client can *pipeline*: when a
+fault reveals a sequential pattern, read the next few pages too,
+keeping several transactions in flight through the IO channel.
+
+:class:`StreamPagedDriver` extends the paged driver with:
+
+* **Sequential detection** — a stride detector on fault addresses.
+* **A prefetch worker** — a dedicated domain thread that keeps up to
+  ``prefetch_depth`` reads in flight and maps each page as its read
+  completes, claiming frames from the pool or by dropping *clean*
+  resident pages (speculation never pays a write).
+* **Fault/prefetch rendezvous** — a demand fault on a page whose
+  prefetch is already in flight *waits for that read* instead of
+  issuing a duplicate.
+
+Because the prefetcher keeps the USD stream busy, a stream-paging
+client is largely immune to the short-block problem even with zero
+laxity — the ablation benchmark shows exactly that.
+"""
+
+from collections import deque
+
+from repro.kernel.threads import Wait
+from repro.sim.units import MS
+from repro.mm.paged import PagedDriver
+
+
+class StreamPagedDriver(PagedDriver):
+    """A paged stretch driver with pipelined sequential read-ahead."""
+
+    kind = "paged-stream"
+
+    def __init__(self, name, domain, frames_client, translation, swap,
+                 prefetch_depth=4):
+        super().__init__(name, domain, frames_client, translation, swap)
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0 (0 disables "
+                             "prefetching entirely)")
+        self.prefetch_depth = prefetch_depth
+        self._last_fault_vpn = None
+        self._sequential_run = 0
+        self._next_expected = None    # first VPN past the prefetch window
+        self._prefetch_queue = deque()
+        self._prefetching = {}        # vpn -> completion SimEvent
+        self._speculative = set()     # mapped ahead, not yet referenced
+        self._frontier = None         # highest vpn scheduled so far
+        self._wake = None
+        self.prefetches_issued = 0
+        self.prefetch_mapped = 0      # pages mapped ahead of demand
+        self.prefetch_wasted = 0      # reads that lost the race
+        if prefetch_depth > 0:
+            domain.add_thread(self._prefetch_worker(),
+                              name="%s-prefetch" % name)
+
+    # -- pattern detection -------------------------------------------------
+
+    def _note_fault(self, vpn):
+        """Stride detection that survives prefetch hits.
+
+        A sequential stream whose intermediate pages were mapped ahead
+        of access faults next at the first page *past* the prefetch
+        window, not at last+1 — both count as continuing the run.
+        """
+        sequential = (self._last_fault_vpn is not None
+                      and vpn == self._last_fault_vpn + 1)
+        if self._next_expected is not None:
+            sequential = sequential or vpn == self._next_expected
+        if sequential:
+            self._sequential_run += 1
+        else:
+            self._sequential_run = 0
+        self._last_fault_vpn = vpn
+
+    def _stretch_of_vpn(self, vpn):
+        for stretch in self.stretches.values():
+            if stretch.base_vpn <= vpn < stretch.base_vpn + stretch.npages:
+                return stretch
+        return None
+
+    def _schedule_prefetch(self, vpn):
+        """After a sequential fault on ``vpn``, queue upcoming pages."""
+        if self.prefetch_depth == 0 or self._sequential_run < 1:
+            return
+        stretch = self._stretch_of_vpn(vpn)
+        if stretch is None:
+            return
+        limit = stretch.base_vpn + stretch.npages
+        for ahead in range(vpn + 1, min(vpn + 1 + self.prefetch_depth,
+                                        limit)):
+            if ahead in self._prefetching:
+                continue
+            pte = self.translation.pagetable.peek(ahead)
+            if pte is not None and pte.mapped:
+                continue
+            if not self._has_disk_copy(ahead):
+                continue
+            self._prefetching[ahead] = self.domain.sim.event(
+                "%s.pf-%d" % (self.name, ahead))
+            self._prefetch_queue.append(ahead)
+        self._next_expected = min(vpn + 1 + self.prefetch_depth, limit)
+        self._frontier = max(self._frontier or 0, self._next_expected - 1)
+        if self._prefetch_queue and self._wake is not None \
+                and not self._wake.triggered:
+            self._wake.trigger(None)
+
+    def _speculation_inventory(self):
+        """Prefetched pages still mapped but not yet touched.
+
+        Consumption is detected through the referenced bit (armed at
+        map time, set by the FOR software-assist on first access) — the
+        same trick the paper uses for dirty/referenced tracking.
+        """
+        live = 0
+        for vpn in list(self._speculative):
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is None or not pte.mapped or pte.referenced:
+                self._speculative.discard(vpn)
+            else:
+                live += 1
+        return live
+
+    def _chase(self):
+        """Keep streaming ahead of consumption.
+
+        Faults stop arriving once the pipeline covers the stream, so
+        the worker extends the window itself whenever the inventory of
+        unconsumed speculative pages drops below the pipeline depth —
+        bounded speculation that tracks the consumer's pace.
+        """
+        if self._sequential_run < 1 or self._frontier is None:
+            return
+        stretch = self._stretch_of_vpn(self._frontier)
+        if stretch is None:
+            return
+        limit = stretch.base_vpn + stretch.npages
+        # _prefetching covers both queued and in-flight pages.
+        budget = (self.prefetch_depth - self._speculation_inventory()
+                  - len(self._prefetching))
+        while budget > 0 and self._frontier + 1 < limit:
+            ahead = self._frontier + 1
+            self._frontier = ahead
+            pte = self.translation.pagetable.peek(ahead)
+            if pte is not None and pte.mapped:
+                continue
+            if not self._has_disk_copy(ahead) or ahead in self._prefetching:
+                continue
+            self._prefetching[ahead] = self.domain.sim.event(
+                "%s.pf-%d" % (self.name, ahead))
+            self._prefetch_queue.append(ahead)
+            budget -= 1
+
+    def _finish(self, vpn):
+        event = self._prefetching.pop(vpn, None)
+        if event is not None and not event.triggered:
+            event.trigger(None)
+
+    # -- fault-path hooks ---------------------------------------------------
+
+    def try_fast(self, fault):
+        vpn = self.machine.page_of(fault.va)
+        self._note_fault(vpn)
+        if vpn in self._prefetching:
+            # The page is on its way: let the worker path rendezvous.
+            from repro.mm.sdriver import FaultOutcome
+
+            return FaultOutcome.RETRY
+        outcome = super().try_fast(fault)
+        self._schedule_prefetch(vpn)
+        return outcome
+
+    def handle_slow(self, fault):
+        vpn = self.machine.page_of(fault.va)
+        pending = self._prefetching.get(vpn)
+        if pending is not None:
+            # Wait for the in-flight prefetch instead of re-reading.
+            yield Wait(pending)
+        ok = yield from super().handle_slow(fault)
+        if ok:
+            self._schedule_prefetch(vpn)
+        return ok
+
+    # -- the prefetch worker -----------------------------------------------------
+
+    def _claim_frame(self):
+        """A frame for speculation: pool first, else drop a *clean*
+        resident page (never pay a write for a guess). Returns a PFN or
+        None."""
+        pfn = self._pop_free()
+        if pfn is not None:
+            return pfn
+        for index, vpn in enumerate(self._resident):
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is None or not pte.mapped:
+                continue
+            if not pte.dirty and self._has_disk_copy(vpn):
+                del self._resident[index]
+                pfn, _dirty = self._unmap_page(vpn)
+                return pfn
+        return None
+
+    def _issue_ready(self, inflight):
+        """Start reads for queued prefetches, up to the pipeline depth."""
+        # Cap speculation below the channel depth so the demand path
+        # always has a slot (rbufs flow control must not let guesses
+        # starve real faults).
+        cap = min(self.prefetch_depth, self.swap.channel.depth - 1)
+        while (self._prefetch_queue
+               and len(inflight) < cap
+               and self.swap.channel.outstanding < self.swap.channel.depth - 1):
+            vpn = self._prefetch_queue.popleft()
+            pte = self.translation.pagetable.peek(vpn)
+            if (pte is None or pte.mapped
+                    or not self._has_disk_copy(vpn)):
+                self._finish(vpn)
+                continue
+            pfn = self._claim_frame()
+            if pfn is None:
+                self._finish(vpn)   # no cheap frame: drop the guess
+                continue
+            done = self.swap.read(self._on_disk[vpn])
+            self.prefetches_issued += 1
+            inflight.append((vpn, pfn, done))
+
+    def _prefetch_worker(self):
+        sim = self.domain.sim
+        inflight = deque()
+        idle_polls = 0
+        while True:
+            self._issue_ready(inflight)
+            if not inflight:
+                self._chase()
+                if self._prefetch_queue:
+                    continue
+                if (self._sequential_run >= 1 and self._speculative
+                        and idle_polls < 50):
+                    # Streaming with a full inventory: consumption is
+                    # only visible through referenced bits, so poll at
+                    # millisecond granularity until the consumer drains
+                    # some pages (or give up after ~50 ms of stillness).
+                    before = len(self._speculative)
+                    yield Wait(sim.timeout(1 * MS))
+                    self._speculation_inventory()  # prune consumed
+                    idle_polls = (0 if len(self._speculative) < before
+                                  else idle_polls + 1)
+                    continue
+                idle_polls = 0
+                self._wake = sim.event("%s.prefetch" % self.name)
+                yield Wait(self._wake)
+                continue
+            idle_polls = 0
+            vpn, pfn, done = inflight.popleft()
+            yield Wait(done)
+            self.pageins += 1
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is not None and pte.mapped:
+                # Lost the race to the demand path after all.
+                self._free.append(pfn)
+                self.prefetch_wasted += 1
+            else:
+                self._note_paged_in(vpn)
+                self._map_page(self.machine.page_base(vpn), pfn)
+                self._resident.append(vpn)
+                self._speculative.add(vpn)
+                self.prefetch_mapped += 1
+            self._finish(vpn)
+            # Keep the stream window ahead of consumption even when the
+            # pipeline has swallowed all the faults.
+            self._chase()

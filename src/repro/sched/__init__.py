@@ -1,0 +1,17 @@
+"""Atropos scheduling.
+
+The paper schedules *every* contended resource — CPU time and disk
+bandwidth — with the same family of algorithm: Atropos, an
+earliest-deadline-first scheduler over periodic guarantees
+``(p, s, x, l)`` (period, slice, slack-eligible, laxity), with roll-over
+accounting for non-preemptible overruns.
+
+:class:`~repro.sched.atropos.AtroposScheduler` implements the algorithm
+generically over opaque *work items* (a disk transaction, a compute
+burst); the USD (:mod:`repro.usd`) and the CPU facade
+(:mod:`repro.kernel.cpu`) instantiate it.
+"""
+
+from repro.sched.atropos import AtroposClient, AtroposScheduler, QoSSpec, WorkItem
+
+__all__ = ["AtroposClient", "AtroposScheduler", "QoSSpec", "WorkItem"]

@@ -1,0 +1,339 @@
+"""The Atropos scheduler: EDF over periodic guarantees, with laxity and
+roll-over accounting.
+
+§6.7 of the paper describes the algorithm as used by the USD; we
+implement it generically:
+
+* Each client holds a QoS tuple ``(p, s, x, l)``: it may perform work
+  totalling at most ``s`` ns in every ``p`` ns period. ``x`` marks
+  eligibility for slack time; ``l`` is the *laxity*.
+* "Each client is periodically allocated s ms and a deadline of
+  now + p ms, and placed on a runnable queue." The scheduler, "if there
+  is work to be done for multiple clients, chooses the one with the
+  earliest deadline and performs a single transaction."
+* "Once the transaction completes, the time taken is computed and
+  deducted from that client's remaining time. If the remaining time is
+  <= 0, the client is moved onto a wait queue; once its deadline is
+  reached, it will receive a new allocation and be returned to the
+  runnable queue."
+* **Laxity** (the fix for the "short-block" problem): a client with no
+  pending work "should be allowed to remain on the runnable queue" for
+  up to ``l`` ns; the lax time "is accounted to the client just as if it
+  were time spent performing disk transactions."
+* **Roll-over accounting**: "clients are allowed to complete a
+  transaction if they have a reasonable amount of time remaining in the
+  current period. Should their transaction take more than this amount
+  of time, the client will end with a negative amount of remaining time
+  which will count against its next allocation."
+
+Work items are non-preemptible (a disk transaction cannot be split),
+which is exactly why roll-over exists.
+
+The scheduler records a trace compatible with the paper's Figure 7/8
+bottom plots: ``txn`` events (filled boxes), ``lax`` events (solid
+lines) and ``alloc`` events (the small arrows at period boundaries).
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.units import fmt_time
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """A (p, s, x, l) guarantee.
+
+    Attributes:
+        period_ns: p — the accounting period.
+        slice_ns: s — guaranteed service time per period.
+        extra: x — whether the client may consume slack time.
+        laxity_ns: l — how long the client may linger on the runnable
+            queue with no pending work, charged as if working.
+    """
+
+    period_ns: int
+    slice_ns: int
+    extra: bool = False
+    laxity_ns: int = 0
+
+    def __post_init__(self):
+        if self.period_ns <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.slice_ns <= self.period_ns:
+            raise ValueError("slice must satisfy 0 <= s <= p")
+        if self.laxity_ns < 0:
+            raise ValueError("laxity must be non-negative")
+
+    @property
+    def share(self):
+        """Fraction of the resource guaranteed (s/p)."""
+        return self.slice_ns / self.period_ns
+
+    def __str__(self):
+        return "(p=%s, s=%s, x=%s, l=%s)" % (
+            fmt_time(self.period_ns), fmt_time(self.slice_ns),
+            self.extra, fmt_time(self.laxity_ns))
+
+
+class WorkItem:
+    """One unit of non-preemptible work.
+
+    ``serve`` is a zero-argument callable returning a *generator* that
+    performs the work in simulated time (e.g. wraps
+    ``disk.transaction(...)`` or a plain timeout). ``done`` triggers with
+    the generator's return value when the item completes.
+    """
+
+    __slots__ = ("serve", "done", "label", "submitted_at")
+
+    def __init__(self, serve, done, label=""):
+        self.serve = serve
+        self.done = done
+        self.label = label
+        self.submitted_at = None
+
+
+class AtroposClient:
+    """Per-client scheduling state."""
+
+    def __init__(self, scheduler, name, qos, index):
+        self.scheduler = scheduler
+        self.name = name
+        self.qos = qos
+        self._index = index          # admission order, EDF tie-break
+        self.queue = deque()
+        self.remaining = qos.slice_ns
+        self.deadline = scheduler.sim.now + qos.period_ns
+        self.lax_used = 0
+        self.lax_exhausted = False
+        self.departed = False
+        # cumulative statistics
+        self.served_items = 0
+        self.served_ns = 0
+        self.lax_ns = 0
+        self.slack_items = 0
+        self.slack_ns = 0
+
+    # -- client-facing API -------------------------------------------------
+
+    def submit(self, serve, label=""):
+        """Queue a work item; returns the completion SimEvent."""
+        if self.departed:
+            raise RuntimeError("client %s has departed" % self.name)
+        done = self.scheduler.sim.event("%s.done" % self.name)
+        item = WorkItem(serve, done, label=label)
+        item.submitted_at = self.scheduler.sim.now
+        self.queue.append(item)
+        # Work arrived: the current workless stretch ends, so the lax
+        # allowance refreshes — but a client already marked idle (lax
+        # exhausted) stays ignored "until its next periodic allocation"
+        # (§6.7), exactly as the paper describes the pre-laxity
+        # behaviour that motivated the mechanism.
+        if not self.lax_exhausted:
+            self.lax_used = 0
+        elif not self.scheduler.strict_idle:
+            self.lax_exhausted = False
+            self.lax_used = 0
+        self.scheduler._kick()
+        return done
+
+    @property
+    def pending(self):
+        """Number of queued work items."""
+        return len(self.queue)
+
+    @property
+    def runnable(self):
+        """On the runnable queue: has allocation and is not idle-marked.
+
+        Note that a *workless* client with allocation is still runnable —
+        the scheduler selects it, discovers it has nothing to do, and
+        either lax-waits for it (laxity > 0) or marks it idle until its
+        next allocation. That selection-then-mark order is the paper's:
+        "if the client with the earliest deadline has (instantaneously)
+        no further work to be done, the USD scheduler would mark it
+        idle, and ignore it until its next periodic allocation" — the
+        short-block problem that laxity exists to fix.
+        """
+        return not (self.departed or self.remaining <= 0
+                    or self.lax_exhausted)
+
+    def _sort_key(self):
+        return (self.deadline, self._index)
+
+
+class AtroposScheduler:
+    """The scheduling loop. One instance per scheduled resource."""
+
+    def __init__(self, sim, name="atropos", trace=None, rollover=True,
+                 slack_enabled=True, strict_idle=True):
+        """``strict_idle=True`` is the paper's behaviour: a client whose
+        laxity expires is ignored "until its next periodic allocation"
+        even if work arrives in between. ``strict_idle=False`` is an
+        extension: newly arriving work clears the idle mark (the client
+        rejoins with whatever allocation it still has) — useful for
+        sporadic low-latency clients whose inter-request gaps exceed any
+        reasonable laxity."""
+        self.sim = sim
+        self.name = name
+        self.trace = trace
+        self.rollover = rollover
+        self.slack_enabled = slack_enabled
+        self.strict_idle = strict_idle
+        self.clients = []
+        self._wake = sim.event("%s.wake" % name)
+        self._next_index = 0
+        self._proc = sim.spawn(self._loop(), name="%s-loop" % name)
+
+    # -- admission -----------------------------------------------------------
+
+    def admitted_share(self):
+        """Sum of guaranteed shares of current clients."""
+        return sum(c.qos.share for c in self.clients if not c.departed)
+
+    def admit(self, name, qos):
+        """Admit a client; refuses if guarantees would exceed capacity.
+
+        Mirrors the frames allocator's admission-control principle: "the
+        sum of all guaranteed [shares] ... must be less than the total"
+        so every guarantee can be met simultaneously.
+        """
+        if self.admitted_share() + qos.share > 1.0 + 1e-12:
+            raise ValueError(
+                "admission control: %s + %.3f share for %r exceeds capacity"
+                % (self.name, qos.share, name))
+        client = AtroposClient(self, name, qos, self._next_index)
+        self._next_index += 1
+        self.clients.append(client)
+        self._record("alloc", client, remaining=client.remaining)
+        self.sim.spawn(self._refill_loop(client), name="%s-refill-%s" % (self.name, name))
+        self._kick()
+        return client
+
+    def depart(self, client):
+        """Remove a client; its queued items fail-fast is not needed —
+        queued items are served while allocation lasts, then dropped."""
+        client.departed = True
+        self._kick()
+
+    # -- internals -------------------------------------------------------------
+
+    def _record(self, kind, client, duration=0, **info):
+        if self.trace is not None:
+            self.trace.record(self.sim.now - duration if kind in ("txn", "lax", "slack") else self.sim.now,
+                              kind, client.name, duration=duration, **info)
+
+    def _kick(self):
+        if not self._wake.triggered:
+            self._wake.trigger(None)
+
+    def _wait_kick(self):
+        if self._wake.triggered:
+            self._wake = self.sim.event("%s.wake" % self.name)
+        return self._wake
+
+    def _refill_loop(self, client):
+        """Per-client allocation refresh at every deadline (period end)."""
+        while not client.departed:
+            delay = client.deadline - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+                continue
+            carry = client.remaining if (self.rollover and client.remaining < 0) else 0
+            client.remaining = client.qos.slice_ns + carry
+            client.deadline += client.qos.period_ns
+            client.lax_used = 0
+            client.lax_exhausted = False
+            self._record("alloc", client, remaining=client.remaining)
+            self._kick()
+
+    def _pick(self):
+        """EDF among runnable clients; None if there are none."""
+        best = None
+        for client in self.clients:
+            if client.runnable and (best is None or client._sort_key() < best._sort_key()):
+                best = client
+        return best
+
+    def _pick_slack(self):
+        """A slack-time candidate: x=True with work but not runnable
+        (allocation exhausted, or idle-marked for the period)."""
+        if not self.slack_enabled:
+            return None
+        best = None
+        for client in self.clients:
+            if (not client.departed and client.qos.extra and client.queue
+                    and not client.runnable):
+                if best is None or client._sort_key() < best._sort_key():
+                    best = client
+        return best
+
+    def _serve(self, client, item, charged):
+        """Run one item to completion, measuring and charging its time."""
+        start = self.sim.now
+        try:
+            value = yield from item.serve()
+        except Exception as exc:  # propagate to the submitter, keep scheduling
+            duration = self.sim.now - start
+            if charged:
+                client.remaining -= duration
+            item.done.fail(exc)
+            return
+        duration = self.sim.now - start
+        if charged:
+            client.remaining -= duration
+            client.served_items += 1
+            client.served_ns += duration
+            self._record("txn", client, duration=duration, label=item.label,
+                         remaining=client.remaining)
+        else:
+            client.slack_items += 1
+            client.slack_ns += duration
+            self._record("slack", client, duration=duration, label=item.label)
+        item.done.trigger(value)
+
+    def _loop(self):
+        sim = self.sim
+        while True:
+            client = self._pick()
+            if client is None:
+                slack_client = self._pick_slack()
+                if slack_client is not None:
+                    item = slack_client.queue.popleft()
+                    yield from self._serve(slack_client, item, charged=False)
+                    continue
+                yield self._wait_kick()
+                continue
+            if client.queue:
+                item = client.queue.popleft()
+                yield from self._serve(client, item, charged=True)
+                continue
+            # Simulation-artifact guard: a completion callback may be
+            # about to submit the client's next item at this very
+            # instant (a closed-loop client "thinks" for zero time). Let
+            # same-instant callbacks land before judging it workless —
+            # on real hardware this work would already be visible.
+            yield sim.timeout(0)
+            if client.queue:
+                continue
+            # Lax wait: the earliest-deadline client has no work. Hold the
+            # resource for it, charging the wait, until work arrives or
+            # its lax/remaining budget runs out.
+            allowance = min(client.qos.laxity_ns - client.lax_used,
+                            client.remaining)
+            if allowance <= 0:
+                client.lax_exhausted = True
+                continue
+            start = sim.now
+            timer = sim.timeout(allowance)
+            kick = self._wait_kick()
+            yield sim.any_of([timer, kick])
+            waited = sim.now - start
+            if waited > 0:
+                client.remaining -= waited
+                client.lax_used += waited
+                client.lax_ns += waited
+                self._record("lax", client, duration=waited)
+            if not client.queue and client.lax_used >= client.qos.laxity_ns:
+                client.lax_exhausted = True

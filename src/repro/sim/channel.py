@@ -1,0 +1,128 @@
+"""Bounded FIFO channels between simulation processes.
+
+These model the Nemesis *IO channels* (the `rbufs` scheme of R. Black's
+thesis, referenced in the paper): a fixed-depth FIFO through which a
+client sends requests to a device driver and receives completions. The
+bound is what gives IO channels their flow-control property — a client
+that has filled its channel must wait, which is exactly the behaviour
+the USD relies on for pipelined clients (Figure 9's file-system client
+trades buffer space against latency by using a deep channel).
+"""
+
+from collections import deque
+
+from repro.sim.core import SimulationError
+
+
+class ChannelClosed(SimulationError):
+    """Raised to getters/putters when the channel is closed."""
+
+
+class Channel:
+    """A bounded FIFO with event-based put/get.
+
+    ``put(item)`` and ``get()`` return :class:`~repro.sim.core.SimEvent`
+    instances that trigger when the operation completes, so processes use
+    them as ``yield channel.put(x)`` / ``item = yield channel.get()``.
+
+    Capacity ``None`` means unbounded (used for completion queues, where
+    the request bound already limits outstanding items).
+    """
+
+    def __init__(self, sim, capacity=None, name=""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.name = name or "channel"
+        self.capacity = capacity
+        self._items = deque()
+        self._getters = deque()  # events waiting for an item
+        self._putters = deque()  # (event, item) waiting for space
+        self._closed = False
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def closed(self):
+        return self._closed
+
+    @property
+    def full(self):
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item):
+        """Enqueue ``item``; the returned event triggers when accepted."""
+        done = self.sim.event("%s.put" % self.name)
+        if self._closed:
+            done.fail(ChannelClosed("put on closed channel %s" % self.name))
+            return done
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.trigger(item)
+            done.trigger(None)
+        elif not self.full:
+            self._items.append(item)
+            done.trigger(None)
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def try_put(self, item):
+        """Non-blocking put; returns True if accepted immediately."""
+        if self._closed:
+            raise ChannelClosed("put on closed channel %s" % self.name)
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self):
+        """Dequeue an item; the returned event triggers with the item."""
+        got = self.sim.event("%s.get" % self.name)
+        if self._items:
+            got.trigger(self._items.popleft())
+            self._admit_putter()
+        elif self._closed:
+            got.fail(ChannelClosed("get on closed, drained channel %s" % self.name))
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self):
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def peek(self):
+        """Return the head item without removing it, or None if empty."""
+        return self._items[0] if self._items else None
+
+    def close(self):
+        """Close the channel: pending and future waiters fail.
+
+        Items already queued may still be drained with :meth:`get`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters and not self._items:
+            self._getters.popleft().fail(
+                ChannelClosed("channel %s closed" % self.name)
+            )
+        while self._putters:
+            done, _item = self._putters.popleft()
+            done.fail(ChannelClosed("channel %s closed" % self.name))
+
+    def _admit_putter(self):
+        if self._putters and not self.full:
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            done.trigger(None)

@@ -1,0 +1,370 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns an event heap keyed by ``(time, sequence)``.
+Work is expressed as *processes*: Python generators that ``yield``
+:class:`SimEvent` instances to wait for them. The idiom is::
+
+    def worker(sim, disk):
+        yield sim.timeout(5 * MS)            # sleep
+        done = disk.submit(request)          # returns a SimEvent
+        result = yield done                  # wait for completion
+        ...
+
+    sim = Simulator()
+    sim.spawn(worker(sim, disk), name="worker")
+    sim.run()
+
+The simulator is intentionally small — a few hundred lines — but complete
+enough to express the whole Nemesis reproduction: one-shot events,
+timeouts, process join, interrupt (used for domain kill in the intrusive
+revocation protocol), failure propagation, and AllOf/AnyOf combinators.
+"""
+
+import heapq
+
+from repro.sim.units import fmt_time
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The Nemesis frames allocator uses this to model killing a domain that
+    fails to honour an intrusive revocation deadline.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; calling :meth:`trigger` (or :meth:`fail`)
+    moves it to *triggered* and schedules all waiting processes to resume
+    at the current simulated time. Triggering twice is an error — events
+    model facts that become true once (an IO completed, a fault was
+    resolved) and never un-happen.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_callbacks", "_is_error")
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.name = name
+        self._value = _PENDING
+        self._callbacks = []
+        self._is_error = False
+
+    @property
+    def triggered(self):
+        """True once the event has been triggered or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self):
+        """True if the event triggered successfully (not failed)."""
+        return self.triggered and not self._is_error
+
+    @property
+    def value(self):
+        """The value the event triggered with.
+
+        Raises :class:`SimulationError` if the event is still pending, and
+        re-raises the failure exception if the event failed.
+        """
+        if self._value is _PENDING:
+            raise SimulationError("event %r has not triggered yet" % self.name)
+        if self._is_error:
+            raise self._value
+        return self._value
+
+    def trigger(self, value=None):
+        """Mark the event as having occurred, waking all waiters."""
+        if self.triggered:
+            raise SimulationError("event %r triggered twice" % self.name)
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exception):
+        """Mark the event as failed; waiters see the exception raised."""
+        if self.triggered:
+            raise SimulationError("event %r triggered twice" % self.name)
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._is_error = True
+        self._flush()
+        return self
+
+    def add_callback(self, fn):
+        """Call ``fn(event)`` when the event triggers (immediately if it
+        already has). Callbacks run at the simulated time of the trigger."""
+        if self.triggered:
+            self.sim._schedule(0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def _flush(self):
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim._schedule(0, lambda fn=fn: fn(self))
+
+    def __repr__(self):
+        state = "pending"
+        if self.triggered:
+            state = "failed" if self._is_error else "triggered"
+        return "<%s %s %s>" % (type(self).__name__, self.name or id(self), state)
+
+
+class Timeout(SimEvent):
+    """An event that triggers itself after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise ValueError("negative timeout: %r" % delay)
+        super().__init__(sim, name="timeout(%s)" % fmt_time(delay))
+        self.delay = delay
+        sim._schedule(delay, lambda: self.trigger(value))
+
+
+class AllOf(SimEvent):
+    """Triggers when every constituent event has triggered.
+
+    Its value is the list of constituent values, in the order given. If a
+    constituent fails, the AllOf fails with that exception.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="all_of")
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.trigger([])
+            return
+        for event in self._events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.trigger([e.value for e in self._events])
+
+
+class AnyOf(SimEvent):
+    """Triggers when the first constituent event triggers.
+
+    Its value is ``(event, value)`` for the winner. Failure of the winner
+    propagates.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self._events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.trigger((event, event._value))
+
+
+class Process(SimEvent):
+    """A generator advanced by the simulator.
+
+    The generator yields :class:`SimEvent` instances; the process resumes
+    (with ``event.value`` as the result of the ``yield`` expression) when
+    the event triggers. When the generator returns, the process — which is
+    itself an event — triggers with the generator's return value, so other
+    processes can join it by yielding it.
+
+    Exceptions raised inside the generator fail the process. If nothing is
+    waiting on a failed process, the exception propagates out of
+    :meth:`Simulator.run` — silent process death hides bugs.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "alive", "_defunct_ok")
+
+    def __init__(self, sim, gen, name=""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise TypeError("Process requires a generator, got %r" % (gen,))
+        self._gen = gen
+        self._waiting_on = None
+        self.alive = True
+        self._defunct_ok = False
+        sim._schedule(0, lambda: self._resume(None, None))
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on whatever event it was waiting on; the
+        event itself is unaffected (it may trigger later, unobserved).
+        """
+        if not self.alive:
+            return
+        self._waiting_on = None
+        self.sim._schedule(0, lambda: self._resume(None, Interrupt(cause)))
+
+    def _on_event(self, event):
+        if self._waiting_on is not event:
+            return  # stale wakeup after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event._value, None)
+        else:
+            self._resume(None, event._value)
+
+    def _resume(self, value, exception):
+        if not self.alive:
+            return
+        try:
+            if exception is not None:
+                target = self._gen.throw(exception)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.trigger(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # Interrupted and the generator did not handle it: dies quietly
+            # (this is the "domain killed" path).
+            self.alive = False
+            if not self.triggered:
+                self._defunct_ok = True
+                self.trigger(None)
+            return
+        except Exception as exc:
+            self.alive = False
+            if self._callbacks:
+                self.fail(exc)
+            else:
+                # Nobody is waiting: surface the error loudly.
+                self.alive = False
+                raise
+            return
+        if not isinstance(target, SimEvent):
+            self.alive = False
+            raise SimulationError(
+                "process %r yielded %r; processes must yield SimEvent "
+                "instances (use sim.timeout() to sleep)" % (self.name, target)
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Simulator:
+    """Owns the clock and the event heap, and runs processes.
+
+    Ties in time are broken by insertion order, making runs deterministic
+    given deterministic process code.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._heap = []
+        self._seq = 0
+        self._process_count = 0
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def _schedule(self, delay, fn):
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn))
+
+    def call_at(self, when, fn):
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        self._schedule(when - self._now, fn)
+
+    def call_after(self, delay, fn):
+        """Run ``fn()`` after ``delay`` nanoseconds."""
+        self._schedule(delay, fn)
+
+    def event(self, name=""):
+        """Create a fresh pending :class:`SimEvent`."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Create an event that triggers after ``delay`` nanoseconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events):
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that triggers when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def spawn(self, gen, name=""):
+        """Start a new process from generator ``gen``; returns it."""
+        self._process_count += 1
+        return Process(self, gen, name=name or "process-%d" % self._process_count)
+
+    def run(self, until=None):
+        """Run until the heap empties or the clock passes ``until``.
+
+        With ``until`` given, the clock is left exactly at ``until`` even
+        if the last executed entry was earlier, so successive ``run``
+        calls compose like wall-clock intervals.
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            fn()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_triggered(self, event, limit=None):
+        """Run until ``event`` triggers; raises if the heap drains first.
+
+        ``limit`` bounds the simulated time as a safety net in tests.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "simulation ran out of work before %r triggered" % event
+                )
+            when, _seq, fn = heapq.heappop(self._heap)
+            if limit is not None and when > limit:
+                raise SimulationError(
+                    "simulated time limit %s exceeded waiting for %r"
+                    % (fmt_time(limit), event)
+                )
+            self._now = when
+            fn()
+        return event.value

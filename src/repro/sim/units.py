@@ -1,0 +1,71 @@
+"""Time units for the simulator.
+
+Simulated time is kept as an ``int`` number of nanoseconds. Integer time
+makes the simulation exactly deterministic (no floating-point drift in the
+event heap) and is comfortably fine-grained for the paper's workloads,
+whose interesting costs range from ~50 ns (event send) to ~15 ms (disk
+seek).
+
+Use the constants to construct durations (``5 * MS``), and the ``from_*``
+helpers when converting possibly fractional quantities (they round to the
+nearest nanosecond).
+"""
+
+NS = 1
+"""One nanosecond (the base unit)."""
+
+US = 1_000
+"""One microsecond in nanoseconds."""
+
+MS = 1_000_000
+"""One millisecond in nanoseconds."""
+
+SEC = 1_000_000_000
+"""One second in nanoseconds."""
+
+
+def from_us(value):
+    """Convert a (possibly fractional) number of microseconds to ns."""
+    return int(round(value * US))
+
+
+def from_ms(value):
+    """Convert a (possibly fractional) number of milliseconds to ns."""
+    return int(round(value * MS))
+
+
+def from_sec(value):
+    """Convert a (possibly fractional) number of seconds to ns."""
+    return int(round(value * SEC))
+
+
+def to_us(ns):
+    """Convert nanoseconds to microseconds as a float."""
+    return ns / US
+
+
+def to_ms(ns):
+    """Convert nanoseconds to milliseconds as a float."""
+    return ns / MS
+
+
+def to_sec(ns):
+    """Convert nanoseconds to seconds as a float."""
+    return ns / SEC
+
+
+def fmt_time(ns):
+    """Render a duration with an auto-chosen unit, e.g. ``'3.25ms'``.
+
+    Chooses the largest unit in which the value is at least one, which is
+    what humans want when reading scheduler traces.
+    """
+    if ns < 0:
+        return "-" + fmt_time(-ns)
+    if ns >= SEC:
+        return "%.3fs" % (ns / SEC)
+    if ns >= MS:
+        return "%.3fms" % (ns / MS)
+    if ns >= US:
+        return "%.3fus" % (ns / US)
+    return "%dns" % ns

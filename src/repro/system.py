@@ -1,0 +1,291 @@
+"""`NemesisSystem`: one-stop construction of a simulated Nemesis machine.
+
+This is the main public entry point. It wires together the simulator,
+the hardware models, the kernel, the centralised allocators (stretch,
+frames), the USD/SFS, and exposes :meth:`new_app` to build self-paging
+application domains. Example::
+
+    from repro import NemesisSystem, QoSSpec, MS, SEC
+
+    system = NemesisSystem()
+    app = system.new_app("player", guaranteed_frames=32)
+    stretch = app.new_stretch(4 * 1024 * 1024)
+    driver = app.paged_driver(
+        frames=2, swap_bytes=16 * 1024 * 1024,
+        qos=QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS))
+    app.bind(stretch, driver)
+    app.spawn(sequential_reader(app, stretch))
+    system.run(10 * SEC)
+
+Everything is configurable (machine, disk geometry, cost model, CPU
+scheduling model, page-table implementation) with defaults matching the
+paper's testbed.
+"""
+
+from repro.hw.cpu import CostMeter, CostModel
+from repro.hw.disk import Disk, QUANTUM_VP3221
+from repro.hw.mmu import MMU, AccessKind
+from repro.hw.pagetable import GuardedPageTable, LinearPageTable
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.platform import ALPHA_EB164
+from repro.kernel.cpu import AtroposCpu, FifoCpu, UnlimitedCpu
+from repro.kernel.kernel import Kernel
+from repro.mm.frames import FramesAllocator
+from repro.mm.mmentry import MMEntry
+from repro.mm.nailed import NailedDriver
+from repro.mm.paged import ForgetfulPagedDriver, PagedDriver
+from repro.mm.physical import PhysicalDriver
+from repro.mm.protdom import ProtectionDomain
+from repro.mm.ramtab import RamTab
+from repro.mm.stretch_allocator import StretchAllocator
+from repro.mm.translation import TranslationSystem
+from repro.sim.core import Simulator
+from repro.sim.trace import Trace
+from repro.sim.units import MS
+from repro.usd.sfs import Partition, SwapFileSystem
+from repro.usd.usd import USD
+
+_PAGETABLES = {"linear": LinearPageTable, "guarded": GuardedPageTable}
+_CPUS = {"fifo": FifoCpu, "atropos": AtroposCpu, "unlimited": UnlimitedCpu}
+
+
+class App:
+    """Convenience bundle for one self-paging application domain."""
+
+    def __init__(self, system, domain, frames_client):
+        self.system = system
+        self.domain = domain
+        self.frames = frames_client
+        self.mmentry = MMEntry(domain, frames_client, system.pagetable)
+        self.drivers = []
+        self.stretches = []
+
+    @property
+    def name(self):
+        return self.domain.name
+
+    def new_stretch(self, nbytes, start=None):
+        """Allocate a stretch owned by this app (rwm rights)."""
+        stretch = self.system.stretch_allocator.new(self.domain, nbytes,
+                                                    start=start)
+        self.stretches.append(stretch)
+        return stretch
+
+    def bind(self, stretch, driver):
+        """Bind a stretch to a driver through the MMEntry."""
+        return self.mmentry.bind(stretch, driver)
+
+    def take_guaranteed_frames(self):
+        """The §6.2 idiom: time-sensitive apps grab every guaranteed
+        frame at initialisation. Returns the PFNs."""
+        want = self.frames.guaranteed - self.frames.allocated
+        return self.frames.alloc_now(want) if want > 0 else []
+
+    # -- driver factories ---------------------------------------------------
+
+    def physical_driver(self, frames=0, name=None):
+        driver = PhysicalDriver(name or "%s-phys" % self.name, self.domain,
+                                self.frames, self.system.translation)
+        if frames:
+            driver.provide_frames(frames)
+        self.drivers.append(driver)
+        return driver
+
+    def nailed_driver(self, name=None):
+        driver = NailedDriver(name or "%s-nailed" % self.name, self.domain,
+                              self.frames, self.system.translation)
+        self.drivers.append(driver)
+        return driver
+
+    def paged_driver(self, frames, swap_bytes, qos, forgetful=False,
+                     name=None, depth=2, policy="fifo"):
+        """A paged driver with its own swap file (QoS negotiated now).
+
+        ``policy`` selects the eviction policy: ``"fifo"`` (the paper's
+        pure demand scheme) or ``"clock"`` (second-chance via the
+        referenced bits).
+        """
+        name = name or "%s-paged" % self.name
+        swap = self.system.sfs.create_swapfile(name, swap_bytes, qos,
+                                               depth=depth)
+        if forgetful:
+            cls = ForgetfulPagedDriver
+        elif policy == "clock":
+            from repro.mm.clockdriver import ClockPagedDriver
+
+            cls = ClockPagedDriver
+        elif policy == "fifo":
+            cls = PagedDriver
+        else:
+            raise ValueError("policy must be 'fifo' or 'clock'")
+        driver = cls(name, self.domain, self.frames,
+                     self.system.translation, swap)
+        if frames:
+            driver.provide_frames(frames)
+        self.drivers.append(driver)
+        return driver
+
+    def stream_driver(self, frames, swap_bytes, qos, prefetch_depth=4,
+                      name=None):
+        """A stream-paging driver (the paper's §8 pipelining extension):
+        a paged driver that detects sequential faults and prefetches
+        ahead through a deeper IO channel."""
+        from repro.mm.stream import StreamPagedDriver
+
+        name = name or "%s-stream" % self.name
+        swap = self.system.sfs.create_swapfile(name, swap_bytes, qos,
+                                               depth=prefetch_depth + 2)
+        driver = StreamPagedDriver(name, self.domain, self.frames,
+                                   self.system.translation, swap,
+                                   prefetch_depth=prefetch_depth)
+        if frames:
+            driver.provide_frames(frames)
+        self.drivers.append(driver)
+        return driver
+
+    def mmap_driver(self, file, frames, prefetch_depth=4, name=None):
+        """Map a file (from ``system.filesystem``) behind a stretch.
+
+        Returns a :class:`~repro.mm.mapped.MappedFileDriver`; bind it to
+        a stretch no larger than the file. Dirty pages write back on
+        eviction; call ``yield from driver.sync()`` from a thread for
+        msync semantics.
+        """
+        from repro.mm.mapped import MappedFileDriver
+
+        driver = MappedFileDriver(name or "%s-mmap-%s" % (self.name,
+                                                            file.name),
+                                  self.domain, self.frames,
+                                  self.system.translation, file,
+                                  prefetch_depth=prefetch_depth)
+        if frames:
+            driver.provide_frames(frames)
+        self.drivers.append(driver)
+        return driver
+
+    # -- threads -----------------------------------------------------------------
+
+    def spawn(self, gen, name=""):
+        """Add a user-level thread to the domain."""
+        return self.domain.add_thread(gen, name=name)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def shutdown(self):
+        """Orderly teardown of the whole application.
+
+        Kills the domain, force-unmaps and returns every owned frame,
+        destroys the app's stretches, and releases its USD guarantees
+        so admission control can re-grant them. Dirty pages are *not*
+        written back (this is exit, not suspend — call a driver's
+        ``sync()`` first if the data matters).
+        """
+        system = self.system
+        self.domain.kill("shutdown")
+        for pfn in system.ramtab.owned_by(self.domain):
+            system.translation.force_unmap_frame(pfn)
+            system.ramtab.clear_owner(pfn)
+            system.physmem.release(pfn)
+        self.frames.allocated = 0
+        self.frames.killed = True   # departed: contract released
+        for stretch in list(self.stretches):
+            if not stretch.destroyed:
+                system.stretch_allocator.destroy(stretch)
+        self.stretches.clear()
+        for driver in self.drivers:
+            swap = getattr(driver, "swap", None)
+            if swap is not None:
+                client = swap.channel.usd_client
+                if client in system.usd.clients:
+                    system.usd.depart(client)
+        if self in system.apps:
+            system.apps.remove(self)
+
+
+class NemesisSystem:
+    """A complete simulated machine running Nemesis."""
+
+    def __init__(self, machine=ALPHA_EB164, geometry=QUANTUM_VP3221,
+                 cost_model=None, pagetable="linear", cpu="fifo",
+                 backing="usd",
+                 rollover=True, slack_enabled=True, usd_trace=True,
+                 system_reserve_frames=16, revocation_timeout=100 * MS,
+                 swap_partition=(262144, 2_097_152),
+                 fs_partition=(3_500_000, 786_432)):
+        self.sim = Simulator()
+        self.machine = machine
+        self.meter = CostMeter(cost_model or CostModel())
+        # Hardware.
+        self.physmem = PhysicalMemory(machine)
+        if pagetable not in _PAGETABLES:
+            raise ValueError("pagetable must be one of %s" % list(_PAGETABLES))
+        self.pagetable = _PAGETABLES[pagetable](machine, self.meter)
+        self.mmu = MMU(machine, self.pagetable, self.meter)
+        self.disk = Disk(self.sim, geometry)
+        # Kernel + CPU.
+        if cpu not in _CPUS:
+            raise ValueError("cpu must be one of %s" % list(_CPUS))
+        self.cpu = _CPUS[cpu](self.sim)
+        self.kernel = Kernel(self.sim, machine, self.mmu, self.meter,
+                             self.cpu)
+        # System-domain services.
+        self.ramtab = RamTab(self.physmem.total_frames,
+                             machine.page_shift)
+        self.translation = TranslationSystem(machine, self.pagetable,
+                                             self.mmu, self.ramtab,
+                                             self.meter)
+        self.stretch_allocator = StretchAllocator(machine, self.translation)
+        self.frames_trace = Trace("frames")
+        self.frames_allocator = FramesAllocator(
+            self.sim, self.physmem, self.ramtab, self.translation,
+            trace=self.frames_trace, revocation_timeout=revocation_timeout,
+            system_reserve=system_reserve_frames)
+        # Backing store: the USD, or the FCFS baseline for the
+        # crosstalk ablations (same admit/submit interface).
+        self.usd_trace = Trace("usd") if usd_trace else None
+        if backing == "usd":
+            self.usd = USD(self.sim, self.disk, trace=self.usd_trace,
+                           rollover=rollover, slack_enabled=slack_enabled)
+        elif backing == "fcfs":
+            from repro.baseline.fcfs_disk import FcfsDiskService
+
+            self.usd = FcfsDiskService(self.sim, self.disk,
+                                       trace=self.usd_trace)
+        else:
+            raise ValueError("backing must be 'usd' or 'fcfs'")
+        self.swap_partition = Partition("swap", *swap_partition)
+        self.fs_partition = Partition("fs", *fs_partition)
+        self.sfs = SwapFileSystem(self.sim, self.usd, machine,
+                                  self.swap_partition)
+        from repro.usd.files import FileSystem
+
+        self.filesystem = FileSystem(self.sim, self.usd, machine,
+                                     self.fs_partition)
+        self.apps = []
+
+    # -- construction -------------------------------------------------------
+
+    def new_app(self, name, guaranteed_frames, extra_frames=0,
+                cpu_qos=None):
+        """Create a self-paging application domain with its contract."""
+        protdom = ProtectionDomain(self.meter, name="%s-pd" % name)
+        domain = self.kernel.create_domain(name, protdom, cpu_qos=cpu_qos)
+        client = self.frames_allocator.admit(domain, guaranteed_frames,
+                                             extra_frames)
+        app = App(self, domain, client)
+        self.apps.append(app)
+        return app
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, until=None):
+        """Advance simulated time (absolute ``until``, ns)."""
+        return self.sim.run(until=until)
+
+    def run_for(self, duration):
+        """Advance simulated time by ``duration`` ns."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    @property
+    def now(self):
+        return self.sim.now

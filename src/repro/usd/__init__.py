@@ -1,0 +1,33 @@
+"""The User-Safe Backing Store (USBS).
+
+§6.7: "The user-safe backing store (USBS) is comprised of two parts:
+the swap filesystem (SFS) and the user-safe disk (USD). The SFS is
+responsible for control operations such as allocation of an extent (a
+contiguous range of blocks) for use as a swap file, and the negotiation
+of Quality of Service parameters to the USD, which is responsible for
+scheduling data operations."
+
+* :mod:`repro.usd.usd` — the USD: one disk transaction at a time,
+  scheduled by Atropos with (p, s, x, l) guarantees, laxity, and
+  roll-over accounting.
+* :mod:`repro.usd.iochannel` — rbufs-style bounded FIFO IO channels
+  between clients and the USD.
+* :mod:`repro.usd.sfs` — partitions, extents and swap files; QoS
+  negotiation (= USD admission) happens at swap-file creation.
+"""
+
+from repro.sched.atropos import QoSSpec
+from repro.usd.iochannel import IOChannel
+from repro.usd.sfs import Extent, Partition, SwapFile, SwapFileSystem
+from repro.usd.usd import USD, USDClient
+
+__all__ = [
+    "Extent",
+    "IOChannel",
+    "Partition",
+    "QoSSpec",
+    "SwapFile",
+    "SwapFileSystem",
+    "USD",
+    "USDClient",
+]

@@ -1,0 +1,132 @@
+"""The swap filesystem: partitions, extents and swap files.
+
+§6.7: "The SFS is responsible for control operations such as allocation
+of an extent (a contiguous range of blocks) for use as a swap file, and
+the negotiation of Quality of Service parameters to the USD."
+
+A :class:`Partition` is a contiguous slice of the disk; the experiments
+use one partition for swap files and a distant one for the file-system
+client (Figure 9: "a client domain reading data from another partition
+on the same disk"). A :class:`SwapFile` is an extent plus an admitted
+USD stream plus an IO channel; it exposes the page-granularity
+``read(blok)`` / ``write(blok)`` operations the paged stretch driver
+uses.
+"""
+
+from repro.hw.disk import DiskRequest, READ, WRITE
+from repro.usd.iochannel import IOChannel
+
+
+class ExtentError(Exception):
+    """Partition space exhausted or invalid request."""
+
+
+class Extent:
+    """A contiguous range of disk blocks."""
+
+    __slots__ = ("start", "nblocks")
+
+    def __init__(self, start, nblocks):
+        if nblocks <= 0:
+            raise ExtentError("empty extent")
+        self.start = start
+        self.nblocks = nblocks
+
+    @property
+    def end(self):
+        return self.start + self.nblocks
+
+    def __repr__(self):
+        return "<Extent [%d..%d)>" % (self.start, self.end)
+
+
+class Partition:
+    """Bump allocation of extents within a fixed block range."""
+
+    def __init__(self, name, start, nblocks):
+        self.name = name
+        self.extent = Extent(start, nblocks)
+        self._cursor = start
+
+    @property
+    def free_blocks(self):
+        return self.extent.end - self._cursor
+
+    def allocate_extent(self, nblocks):
+        if nblocks <= 0:
+            raise ExtentError("extent must be positive")
+        if self._cursor + nblocks > self.extent.end:
+            raise ExtentError(
+                "partition %s: %d blocks requested, %d free"
+                % (self.name, nblocks, self.free_blocks))
+        extent = Extent(self._cursor, nblocks)
+        self._cursor += nblocks
+        return extent
+
+
+class SwapFile:
+    """An extent + USD stream + IO channel, addressed in bloks.
+
+    A *blok* is ``pages_per_blok`` pages of disk blocks (one page here,
+    matching the paper's paging workloads). Bloks are numbered from 0
+    within the extent.
+    """
+
+    def __init__(self, sim, name, extent, usd_client, machine, depth=2):
+        self.sim = sim
+        self.name = name
+        self.extent = extent
+        self.machine = machine
+        self.blok_blocks = machine.page_size // 512
+        self.nbloks = extent.nblocks // self.blok_blocks
+        if self.nbloks == 0:
+            raise ExtentError("extent smaller than one blok")
+        self.channel = IOChannel(sim, usd_client, depth=depth)
+        self.reads = 0
+        self.writes = 0
+
+    def _lba(self, blok):
+        if not 0 <= blok < self.nbloks:
+            raise ExtentError("blok %d outside swap file %s" % (blok,
+                                                                self.name))
+        return self.extent.start + blok * self.blok_blocks
+
+    def read(self, blok):
+        """Page in one blok; returns the completion SimEvent."""
+        self.reads += 1
+        return self.channel.submit(DiskRequest(
+            kind=READ, lba=self._lba(blok), nblocks=self.blok_blocks,
+            client=self.name))
+
+    def write(self, blok):
+        """Page out one blok; returns the completion SimEvent."""
+        self.writes += 1
+        return self.channel.submit(DiskRequest(
+            kind=WRITE, lba=self._lba(blok), nblocks=self.blok_blocks,
+            client=self.name))
+
+
+class SwapFileSystem:
+    """Control-path object creating swap files with USD guarantees."""
+
+    def __init__(self, sim, usd, machine, partition):
+        self.sim = sim
+        self.usd = usd
+        self.machine = machine
+        self.partition = partition
+        self.swapfiles = []
+
+    def create_swapfile(self, name, nbytes, qos, depth=2):
+        """Allocate an extent and negotiate ``qos`` with the USD.
+
+        ``nbytes`` is rounded up to whole bloks. Raises if the partition
+        or the USD's admission control refuses.
+        """
+        nbytes = self.machine.align_up(nbytes)
+        nblocks = nbytes // 512
+        extent = self.partition.allocate_extent(nblocks)
+        usd_client = self.usd.admit(name, qos)
+        swapfile = SwapFile(self.sim, name, extent, usd_client,
+                            self.machine, depth=depth)
+        self.swapfiles.append(swapfile)
+        return swapfile

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hw.cpu import CostMeter
+from repro.hw.platform import Machine
+from repro.sim.core import Simulator
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def meter():
+    return CostMeter()
+
+
+@pytest.fixture
+def small_machine():
+    """A 16 MB machine: big enough for real workloads, small enough
+    that memory contention is easy to provoke."""
+    return Machine(name="small", phys_mem_bytes=16 * MB)
+
+
+@pytest.fixture
+def system():
+    """A full default system (128 MB, USD backing, FIFO CPU)."""
+    return NemesisSystem()
+
+
+@pytest.fixture
+def small_system(small_machine):
+    return NemesisSystem(machine=small_machine)

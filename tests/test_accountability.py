@@ -1,0 +1,124 @@
+"""Accountability: §5's first criticism, inverted.
+
+"the process which caused the fault does not use any of its own
+resources (in particular, CPU time) in order to satisfy the fault" —
+under self-paging the opposite must hold: every nanosecond of fault
+handling lands on the faulting domain's own CPU account, and every
+millisecond of paging IO lands on its own disk account.
+"""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+QOS2 = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS, laxity_ns=10 * MS)
+
+
+class TestCpuAccountability:
+    def test_fault_handling_cpu_charged_to_faulter(self, system):
+        """Two domains run the same nominal compute; one also faults
+        heavily. The faulter's CPU account shows the extra work."""
+        faulter = system.new_app("faulter", guaranteed_frames=4)
+        stretch = faulter.new_stretch(64 * system.machine.page_size)
+        faulter.bind(stretch, faulter.paged_driver(frames=2,
+                                                   swap_bytes=2 * MB,
+                                                   qos=QOS))
+        calm = system.new_app("calm", guaranteed_frames=4)
+
+        def faulting_body():
+            for _ in range(3):
+                for va in stretch.pages():
+                    yield Touch(va, AccessKind.WRITE)
+                    yield Compute(10_000)
+
+        def calm_body():
+            for _ in range(3 * 64):
+                yield Compute(10_000)
+
+        faulter_thread = faulter.spawn(faulting_body())
+        calm_thread = calm.spawn(calm_body())
+        system.sim.run_until_triggered(faulter_thread.done, limit=120 * SEC)
+        system.sim.run_until_triggered(calm_thread.done, limit=120 * SEC)
+        # Same nominal compute, but the faulter also paid for every
+        # activation, handler, driver and worker step.
+        assert faulter.domain.cpu.consumed_ns > 2 * calm.domain.cpu.consumed_ns
+
+    def test_no_system_pager_consumes_anything(self, system):
+        """There is no shared pager domain to hide costs in: the only
+        CPU accounts are the apps' own."""
+        app = system.new_app("solo", guaranteed_frames=4)
+        stretch = app.new_stretch(32 * system.machine.page_size)
+        app.bind(stretch, app.paged_driver(frames=2, swap_bytes=1 * MB,
+                                           qos=QOS))
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        accounts = [d.cpu for d in system.kernel.domains]
+        consumers = [a for a in accounts if a.consumed_ns > 0]
+        assert len(consumers) == 1
+        assert consumers[0] is app.domain.cpu
+
+
+class TestDiskAccountability:
+    def test_paging_io_charged_to_own_usd_stream(self, system):
+        """Each app's page-outs are debited from its own (p, s) and
+        nobody else's."""
+        apps = []
+        for name, qos in (("a", QOS), ("b", QOS2)):
+            app = system.new_app(name, guaranteed_frames=4)
+            stretch = app.new_stretch(32 * system.machine.page_size)
+            driver = app.paged_driver(frames=2, swap_bytes=1 * MB, qos=qos,
+                                      forgetful=True)
+            app.bind(stretch, driver)
+
+            def body(stretch=stretch):
+                while True:
+                    for va in stretch.pages():
+                        yield Touch(va, AccessKind.WRITE)
+
+            app.spawn(body())
+            apps.append(app)
+        system.run(5 * SEC)
+        trace = system.usd_trace
+        for app in apps:
+            client = app.driver.swap.name if hasattr(app, "driver") else None
+        served = {app.drivers[0].swap.name: trace.total_duration(
+            kind="txn", client=app.drivers[0].swap.name) for app in apps}
+        # Both paid; the 40% client got about twice the 20% client.
+        assert served["a-paged"] > 0 and served["b-paged"] > 0
+        ratio = served["a-paged"] / served["b-paged"]
+        assert 1.5 <= ratio <= 2.5
+
+    def test_slack_time_is_free_but_optional(self, system):
+        """A slack-eligible (x=True) paging app on an otherwise idle
+        disk runs far beyond its guarantee — without being charged."""
+        qos = QoSSpec(period_ns=250 * MS, slice_ns=25 * MS, extra=True,
+                      laxity_ns=10 * MS)
+        app = system.new_app("x", guaranteed_frames=4)
+        stretch = app.new_stretch(32 * system.machine.page_size)
+        driver = app.paged_driver(frames=2, swap_bytes=1 * MB, qos=qos,
+                                  forgetful=True)
+        app.bind(stretch, driver)
+
+        def body():
+            while True:
+                for va in stretch.pages():
+                    yield Touch(va, AccessKind.WRITE)
+
+        app.spawn(body())
+        system.run(5 * SEC)
+        client = driver.swap.channel.usd_client
+        sched_client = client._sched_client
+        total_served = sched_client.served_ns + sched_client.slack_ns
+        # The disk is otherwise idle: the app used way more than 10%.
+        assert total_served > 0.25 * 5 * SEC
+        assert sched_client.slack_ns > sched_client.served_ns

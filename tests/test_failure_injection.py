@@ -1,0 +1,181 @@
+"""Failure injection: how the system behaves when things go wrong.
+
+Self-paging's defining property is that failure is *contained*: a
+misbehaving application hurts itself — its threads die, its domain is
+killed, its frames are reclaimed — while everyone else's guarantees
+hold. These tests inject the failures and assert the blast radius.
+"""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, ThreadState, Touch, Wait
+from repro.mm.rights import Rights
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+
+
+class TestWildAccesses:
+    def test_wild_pointer_kills_only_that_thread(self, system):
+        app = system.new_app("wild", guaranteed_frames=4)
+        stretch = app.new_stretch(2 * system.machine.page_size)
+        app.bind(stretch, app.physical_driver(frames=2))
+        healthy_progress = {"ticks": 0}
+
+        def healthy():
+            while True:
+                yield Touch(stretch.base, AccessKind.WRITE)
+                yield Compute(1 * MS)
+                healthy_progress["ticks"] += 1
+
+        def wild():
+            yield Compute(5 * MS)
+            yield Touch(0x7FFF_0000, AccessKind.WRITE)  # nowhere
+
+        healthy_thread = app.spawn(healthy())
+        wild_thread = app.spawn(wild())
+        system.run(1 * SEC)
+        assert wild_thread.state is ThreadState.DEAD
+        assert healthy_thread.state is not ThreadState.DEAD
+        assert healthy_progress["ticks"] > 500
+
+    def test_cross_domain_access_denied(self, system):
+        victim = system.new_app("victim", guaranteed_frames=4)
+        secret = victim.new_stretch(system.machine.page_size)
+        victim.bind(secret, victim.physical_driver(frames=1))
+        attacker = system.new_app("attacker", guaranteed_frames=4)
+
+        def setup():
+            yield Touch(secret.base, AccessKind.WRITE)
+
+        thread = victim.spawn(setup())
+        system.sim.run_until_triggered(thread.done, limit=1 * SEC)
+
+        def attack():
+            yield Touch(secret.base, AccessKind.READ)
+
+        attack_thread = attacker.spawn(attack())
+        system.run_for(100 * MS)
+        assert attack_thread.state is ThreadState.DEAD
+        # The victim's mapping is untouched.
+        assert system.translation.trans(secret.base) is not None
+
+    def test_cannot_map_someone_elses_frame(self, system):
+        from repro.mm.translation import MappingError
+
+        a = system.new_app("a", guaranteed_frames=4)
+        b = system.new_app("b", guaranteed_frames=4)
+        b_frame = b.frames.alloc_now(1)[0]
+        stretch = a.new_stretch(system.machine.page_size)
+        with pytest.raises(PermissionError):
+            system.translation.map(a.domain, stretch.base, b_frame)
+
+    def test_meta_right_removal_locks_out_owner(self, system):
+        """Dropping your own meta right is permanent (no safety net)."""
+        from repro.mm.translation import NotAuthorized
+
+        app = system.new_app("self-harm", guaranteed_frames=4)
+        stretch = app.new_stretch(system.machine.page_size)
+        system.translation.set_prot_protdom(app.domain, stretch,
+                                            Rights.parse("rw"))
+        with pytest.raises(NotAuthorized):
+            system.translation.set_prot_protdom(app.domain, stretch,
+                                                Rights.parse("rwm"))
+
+
+class TestDomainDeath:
+    def test_killed_domain_releases_everything(self, small_system):
+        system = small_system
+        app = system.new_app("doomed", guaranteed_frames=8)
+        stretch = app.new_stretch(4 * system.machine.page_size)
+        app.bind(stretch, app.physical_driver(frames=4))
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+            while True:
+                yield Compute(1 * MS)
+
+        app.spawn(body())
+        system.run(1 * SEC)
+        held = system.ramtab.owned_by(app.domain)
+        assert held
+        # Kill + reclaim (the frames-allocator kill path).
+        system.frames_allocator._kill(app.frames)
+        assert system.ramtab.owned_by(app.domain) == []
+        assert app.domain.dead
+        # The memory is immediately reusable.
+        successor = system.new_app("next", guaranteed_frames=8)
+        assert len(successor.frames.alloc_now(8)) == 8
+
+    def test_usd_unaffected_by_client_domain_death(self, system):
+        """A paging app dying mid-stream leaves the USD serving others."""
+        doomed = system.new_app("doomed", guaranteed_frames=4)
+        stretch = doomed.new_stretch(64 * system.machine.page_size)
+        doomed.bind(stretch, doomed.paged_driver(frames=2,
+                                                 swap_bytes=2 * MB,
+                                                 qos=QOS))
+
+        def pager():
+            while True:
+                for va in stretch.pages():
+                    yield Touch(va, AccessKind.WRITE)
+
+        doomed.spawn(pager())
+        survivor_qos = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS,
+                               laxity_ns=10 * MS)
+        survivor = system.usd.admit("survivor", survivor_qos)
+        system.run(2 * SEC)
+        doomed.domain.kill("chaos")
+        from repro.hw.disk import DiskRequest, READ
+
+        done = survivor.submit(DiskRequest(kind=READ, lba=3_600_000,
+                                           nblocks=16))
+        system.sim.run_until_triggered(done, limit=5 * SEC)
+        assert done.ok
+
+    def test_dead_domain_accepts_no_new_threads_silently(self, system):
+        app = system.new_app("gone", guaranteed_frames=2)
+        app.domain.kill("test")
+        thread = app.spawn(iter([]))  # harmless: domain loop has exited
+        system.run_for(10 * MS)
+        assert app.domain.dead
+
+
+class TestResourceExhaustion:
+    def test_swap_exhaustion_is_contained(self, system):
+        """A driver running out of swap kills its faulting thread; the
+        rest of the domain keeps running."""
+        app = system.new_app("swapless", guaranteed_frames=4)
+        page = system.machine.page_size
+        stretch = app.new_stretch(8 * page)
+        driver = app.paged_driver(frames=2, swap_bytes=2 * page, qos=QOS)
+        app.bind(stretch, driver)
+        other_progress = {"ticks": 0}
+
+        def other():
+            while True:
+                yield Compute(1 * MS)
+                other_progress["ticks"] += 1
+
+        def walker():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+        app.spawn(other())
+        walker_thread = app.spawn(walker())
+        from repro.mm.paged import SwapFullError
+
+        with pytest.raises(SwapFullError):
+            system.run(5 * SEC)
+
+    def test_admission_refusal_is_clean(self, system):
+        """Refused admissions leave no residue."""
+        clients_before = len(system.usd.clients)
+        with pytest.raises(ValueError):
+            system.usd.admit("greedy", QoSSpec(period_ns=100 * MS,
+                                               slice_ns=101 * MS))
+        assert len(system.usd.clients) == clients_before

@@ -1,0 +1,74 @@
+"""Tests for the cost model and meter."""
+
+import pytest
+
+from repro.hw.cpu import CostMeter, CostModel, DEFAULT_COSTS
+
+
+class TestCostModel:
+    def test_defaults_present(self):
+        model = CostModel()
+        assert model["event_send"] == DEFAULT_COSTS["event_send"]
+        assert "pt_lookup" in model
+
+    def test_override(self):
+        model = CostModel({"event_send": 99})
+        assert model["event_send"] == 99
+        assert model["pt_lookup"] == DEFAULT_COSTS["pt_lookup"]
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            CostModel()["frobnicate"]
+
+    def test_scaled(self):
+        model = CostModel().scaled(2.0)
+        assert model["context_save"] == 2 * DEFAULT_COSTS["context_save"]
+
+    def test_derive(self):
+        base = CostModel()
+        derived = base.derive(pal_trap=1)
+        assert derived["pal_trap"] == 1
+        assert base["pal_trap"] == DEFAULT_COSTS["pal_trap"]
+
+    def test_names_sorted(self):
+        names = CostModel().names()
+        assert names == sorted(names)
+
+    def test_paper_anchor_values(self):
+        # The calibration anchors from the paper's own breakdown.
+        model = CostModel()
+        assert model["event_send"] <= 50
+        assert 500 <= model["context_save"] <= 1000
+        assert model["activate"] <= 200
+
+
+class TestCostMeter:
+    def test_charge_accumulates(self):
+        meter = CostMeter()
+        meter.charge("event_send")
+        meter.charge("event_send", times=2)
+        assert meter.total_ns == 3 * DEFAULT_COSTS["event_send"]
+        assert meter.counts["event_send"] == 3
+
+    def test_take_resets_total_not_counts(self):
+        meter = CostMeter()
+        meter.charge("pt_lookup")
+        taken = meter.take()
+        assert taken == DEFAULT_COSTS["pt_lookup"]
+        assert meter.total_ns == 0
+        assert meter.counts["pt_lookup"] == 1
+
+    def test_charge_typo_raises(self):
+        with pytest.raises(KeyError):
+            CostMeter().charge("pt_lokup")
+
+    def test_charge_ns(self):
+        meter = CostMeter()
+        meter.charge_ns(123)
+        assert meter.take() == 123
+
+    def test_reset_clears_everything(self):
+        meter = CostMeter()
+        meter.charge("pt_lookup")
+        meter.reset()
+        assert meter.total_ns == 0 and not meter.counts

@@ -1,0 +1,220 @@
+"""Tests for the disk model: geometry, service regimes, cache."""
+
+import pytest
+
+from repro.hw.disk import (
+    Disk,
+    DiskGeometry,
+    DiskRequest,
+    QUANTUM_VP3221,
+    READ,
+    WRITE,
+)
+from repro.sim.units import MS, SEC, US
+
+PAGE_BLOCKS = 16  # 8 KB
+
+
+def request(kind, lba, nblocks=PAGE_BLOCKS, client="t"):
+    return DiskRequest(kind=kind, lba=lba, nblocks=nblocks, client=client)
+
+
+def run_txn(sim, disk, req):
+    proc = sim.spawn(disk.transaction(req), name="txn")
+    sim.run()
+    return proc.value
+
+
+class TestGeometry:
+    def test_vp3221_parameters(self):
+        g = QUANTUM_VP3221
+        assert g.total_blocks == 4_304_536
+        assert g.block_size == 512
+        assert g.rpm == 5400
+        assert abs(g.rev_time_ns - 11_111_111) < 2
+
+    def test_derived_quantities(self):
+        g = QUANTUM_VP3221
+        assert g.blocks_per_cylinder == g.sectors_per_track * g.heads
+        assert g.cylinders == -(-g.total_blocks // g.blocks_per_cylinder)
+        # Media rate about 4.5 MB/s for 99 x 512B per 11.1ms revolution.
+        assert 4.0e6 < g.media_rate_bytes_per_ns * 1e9 < 5.2e6
+
+    def test_seek_time_monotone_in_distance(self):
+        g = QUANTUM_VP3221
+        assert g.seek_time_ns(0, 0) == 0
+        near = g.seek_time_ns(0, 10)
+        far = g.seek_time_ns(0, 2000)
+        assert 0 < near < far
+
+    def test_transfer_time_linear(self):
+        g = QUANTUM_VP3221
+        assert g.transfer_time_ns(32) == pytest.approx(
+            2 * g.transfer_time_ns(16), rel=0.01)
+
+    def test_sector_angle(self):
+        g = QUANTUM_VP3221
+        assert g.sector_angle(0) == 0.0
+        assert 0 < g.sector_angle(1) < 1
+
+
+class TestRequestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            DiskRequest(kind="erase", lba=0, nblocks=1)
+
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            DiskRequest(kind=READ, lba=-1, nblocks=1)
+        with pytest.raises(ValueError):
+            DiskRequest(kind=READ, lba=0, nblocks=0)
+
+    def test_beyond_end_of_disk(self, sim):
+        disk = Disk(sim)
+        req = request(READ, QUANTUM_VP3221.total_blocks - 1, nblocks=16)
+        with pytest.raises(ValueError):
+            disk.service_time(req)
+
+
+class TestServiceRegimes:
+    def test_first_read_is_mechanical(self, sim):
+        disk = Disk(sim)
+        result = run_txn(sim, disk, request(READ, 1_000_000))
+        assert not result.cached
+        assert result.duration > 2 * MS  # positioning dominates
+
+    def test_sequential_read_hits_cache(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        result = run_txn(sim, disk, request(READ, 1_000_000 + PAGE_BLOCKS))
+        assert result.cached
+        # overhead + media-rate transfer of 8 KB: about 2 ms.
+        assert 1 * MS < result.duration < 3 * MS
+
+    def test_cached_reads_are_uniform(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        durations = set()
+        for i in range(1, 10):
+            result = run_txn(sim, disk,
+                             request(READ, 1_000_000 + i * PAGE_BLOCKS))
+            assert result.cached
+            durations.add(result.duration)
+        assert len(durations) == 1  # exactly uniform
+
+    def test_random_read_misses(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        result = run_txn(sim, disk, request(READ, 3_000_000))
+        assert not result.cached
+
+    def test_writes_never_cached(self, sim):
+        disk = Disk(sim)
+        durations = []
+        for i in range(5):
+            result = run_txn(sim, disk,
+                             request(WRITE, 1_000_000 + i * PAGE_BLOCKS))
+            assert not result.cached
+            durations.append(result.duration)
+        # Sequential writes still wait out most of a rotation: the
+        # paper's Figure 8 regime ("on the order of 10ms").
+        mean = sum(durations[1:]) / len(durations[1:])
+        assert 6 * MS < mean < 16 * MS
+
+    def test_write_invalidates_overlapping_segment(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        # Write right at the stream's read-ahead position.
+        run_txn(sim, disk, request(WRITE, 1_000_000 + PAGE_BLOCKS))
+        result = run_txn(sim, disk, request(READ, 1_000_000 + PAGE_BLOCKS))
+        assert not result.cached
+
+    def test_write_behind_stream_preserves_segment(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        run_txn(sim, disk, request(WRITE, 1_000_000 - 64))  # behind
+        result = run_txn(sim, disk, request(READ, 1_000_000 + PAGE_BLOCKS))
+        assert result.cached
+
+    def test_multiple_interleaved_streams_all_cached(self, sim):
+        """The multi-segment cache keeps several clients' sequential
+        streams warm simultaneously — the Figure 7 regime."""
+        disk = Disk(sim)
+        bases = [500_000, 1_500_000, 2_500_000]
+        for base in bases:
+            run_txn(sim, disk, request(READ, base))
+        for i in range(1, 6):
+            for base in bases:
+                result = run_txn(sim, disk,
+                                 request(READ, base + i * PAGE_BLOCKS))
+                assert result.cached, (base, i)
+
+    def test_lru_segment_eviction(self, sim):
+        geometry = DiskGeometry(cache_segments=2)
+        disk = Disk(sim, geometry)
+        for base in (500_000, 1_500_000, 2_500_000):
+            run_txn(sim, disk, request(READ, base))
+        # The first stream's segment was evicted by the third.
+        result = run_txn(sim, disk, request(READ, 500_000 + PAGE_BLOCKS))
+        assert not result.cached
+
+    def test_far_skip_within_window_hits(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        skip = request(READ, 1_000_000 + PAGE_BLOCKS * 2)
+        duration, cached = disk.service_time(skip)
+        assert cached
+
+    def test_skip_beyond_window_misses(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        beyond = request(READ,
+                         1_000_000 + QUANTUM_VP3221.segment_blocks + 64)
+        _duration, cached = disk.service_time(beyond)
+        assert not cached
+
+
+class TestExclusivity:
+    def test_concurrent_transactions_rejected(self, sim):
+        disk = Disk(sim)
+
+        def submit_two():
+            # Start one transaction, then try to start another while
+            # the first is in flight.
+            first = sim.spawn(disk.transaction(request(READ, 100)))
+            yield sim.timeout(1 * US)
+            with pytest.raises(RuntimeError):
+                next(disk.transaction(request(READ, 200)))
+            yield first
+
+        proc = sim.spawn(submit_two())
+        sim.run()
+        assert proc.triggered
+
+    def test_stats_accumulate(self, sim):
+        disk = Disk(sim)
+        run_txn(sim, disk, request(READ, 1_000_000))
+        run_txn(sim, disk, request(READ, 1_000_000 + PAGE_BLOCKS))
+        run_txn(sim, disk, request(WRITE, 2_000_000))
+        assert disk.stats_reads == 2
+        assert disk.stats_cache_hits == 1
+        assert disk.stats_writes == 1
+        assert disk.stats_busy_ns > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timings(self):
+        def run_once():
+            from repro.sim.core import Simulator
+
+            sim = Simulator()
+            disk = Disk(sim)
+            durations = []
+            for i in range(20):
+                kind = READ if i % 3 else WRITE
+                result = run_txn(sim, disk,
+                                 request(kind, 1_000_000 + i * PAGE_BLOCKS))
+                durations.append(result.duration)
+            return durations
+
+        assert run_once() == run_once()

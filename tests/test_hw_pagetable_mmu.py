@@ -1,0 +1,249 @@
+"""Tests for PTEs, page tables (linear + guarded), the TLB and the MMU."""
+
+import pytest
+
+from repro.hw.cpu import CostMeter
+from repro.hw.mmu import MMU, AccessKind, FaultCode
+from repro.hw.pagetable import GuardedPageTable, LinearPageTable
+from repro.hw.platform import ALPHA_EB164
+from repro.hw.pte import PTE
+from repro.hw.tlb import TLB
+from repro.mm.protdom import ProtectionDomain
+from repro.mm.rights import Rights
+
+
+@pytest.fixture
+def machine():
+    return ALPHA_EB164
+
+
+@pytest.fixture(params=["linear", "guarded"])
+def pagetable(request, machine, meter):
+    cls = {"linear": LinearPageTable, "guarded": GuardedPageTable}
+    return cls[request.param](machine, meter)
+
+
+class TestPTE:
+    def test_starts_null(self):
+        pte = PTE(sid=7)
+        assert not pte.mapped and not pte.valid
+
+    def test_map_arms_usage_tracking(self):
+        pte = PTE(1)
+        pte.map(42)
+        assert pte.mapped and pte.valid and pte.pfn == 42
+        assert pte.fault_on_read and pte.fault_on_write
+        assert not pte.dirty and not pte.referenced
+
+    def test_map_without_tracking(self):
+        pte = PTE(1)
+        pte.map(42, track_usage=False)
+        assert not pte.fault_on_read and not pte.fault_on_write
+
+    def test_make_null_clears_everything(self):
+        pte = PTE(1)
+        pte.map(42)
+        pte.dirty = True
+        pte.make_null()
+        assert not pte.mapped and not pte.dirty
+
+
+class TestPageTables:
+    def test_lookup_missing_is_none(self, pagetable):
+        assert pagetable.lookup(123) is None
+
+    def test_ensure_range_creates_null_entries(self, pagetable):
+        pagetable.ensure_range(100, 5, sid=9)
+        for vpn in range(100, 105):
+            pte = pagetable.lookup(vpn)
+            assert pte is not None and pte.sid == 9 and not pte.mapped
+        assert pagetable.entry_count == 5
+
+    def test_ensure_range_refuses_overlap(self, pagetable):
+        pagetable.ensure_range(100, 5, sid=1)
+        with pytest.raises(ValueError):
+            pagetable.ensure_range(104, 2, sid=2)
+        # And no partial entries were created by the failed call.
+        assert pagetable.peek(105) is None
+
+    def test_remove_range(self, pagetable):
+        pagetable.ensure_range(10, 3, sid=1)
+        pagetable.remove_range(10, 3)
+        assert pagetable.lookup(10) is None
+        assert pagetable.entry_count == 0
+
+    def test_remove_missing_raises(self, pagetable):
+        with pytest.raises(ValueError):
+            pagetable.remove_range(10, 1)
+
+    def test_peek_charges_nothing(self, pagetable, meter):
+        pagetable.ensure_range(10, 1, sid=1)
+        meter.take()
+        meter.reset()
+        pagetable.peek(10)
+        assert meter.total_ns == 0
+
+    def test_entries_are_shared_objects(self, pagetable):
+        pagetable.ensure_range(10, 1, sid=1)
+        pte = pagetable.lookup(10)
+        pte.map(5)
+        assert pagetable.lookup(10).pfn == 5
+
+    def test_distant_vpns_do_not_collide(self, pagetable, machine):
+        last = machine.total_pages - 1
+        pagetable.ensure_range(0, 1, sid=1)
+        pagetable.ensure_range(last, 1, sid=2)
+        assert pagetable.lookup(0).sid == 1
+        assert pagetable.lookup(last).sid == 2
+
+
+class TestPathLengths:
+    def test_linear_lookup_is_one_charge(self, machine, meter):
+        pagetable = LinearPageTable(machine, meter)
+        pagetable.ensure_range(0, 1, sid=1)
+        meter.take()
+        counts_before = meter.counts["pt_lookup"]
+        pagetable.lookup(0)
+        assert meter.counts["pt_lookup"] == counts_before + 1
+
+    def test_guarded_lookup_walks_multiple_levels(self, machine, meter):
+        pagetable = GuardedPageTable(machine, meter)
+        pagetable.ensure_range(0, 1, sid=1)
+        meter.take()
+        before = meter.counts["gpt_level"]
+        pagetable.lookup(0)
+        assert meter.counts["gpt_level"] - before >= 3
+
+    def test_guarded_slower_than_linear(self, machine):
+        linear_meter = CostMeter()
+        guarded_meter = CostMeter()
+        linear = LinearPageTable(machine, linear_meter)
+        guarded = GuardedPageTable(machine, guarded_meter)
+        linear.ensure_range(7, 1, sid=1)
+        guarded.ensure_range(7, 1, sid=1)
+        linear_meter.take()
+        guarded_meter.take()
+        linear.lookup(7)
+        guarded.lookup(7)
+        assert guarded_meter.take() > 2 * linear_meter.take()
+
+
+class TestTLB:
+    def test_miss_then_hit(self, meter):
+        tlb = TLB(meter, capacity=4)
+        assert tlb.lookup(1) is None
+        pte = PTE(1)
+        pte.map(9)
+        tlb.fill(1, pte)
+        assert tlb.lookup(1) is pte
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self, meter):
+        tlb = TLB(meter, capacity=2)
+        ptes = {}
+        for vpn in (1, 2):
+            ptes[vpn] = PTE(1)
+            tlb.fill(vpn, ptes[vpn])
+        tlb.lookup(1)          # 1 is now most recent
+        tlb.fill(3, PTE(1))    # evicts 2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) is ptes[1]
+
+    def test_invalidate(self, meter):
+        tlb = TLB(meter, capacity=4)
+        tlb.fill(1, PTE(1))
+        tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+        assert tlb.invalidations == 1
+
+    def test_invalidate_all(self, meter):
+        tlb = TLB(meter, capacity=4)
+        tlb.fill(1, PTE(1))
+        tlb.fill(2, PTE(1))
+        tlb.invalidate_all()
+        assert len(tlb) == 0
+
+    def test_hit_rate(self, meter):
+        tlb = TLB(meter, capacity=4)
+        assert tlb.hit_rate == 0.0
+        tlb.fill(1, PTE(1))
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == 0.5
+
+    def test_capacity_validation(self, meter):
+        with pytest.raises(ValueError):
+            TLB(meter, capacity=0)
+
+
+class TestMMU:
+    @pytest.fixture
+    def setup(self, machine, meter):
+        pagetable = LinearPageTable(machine, meter)
+        mmu = MMU(machine, pagetable, meter)
+        protdom = ProtectionDomain(meter)
+        pagetable.ensure_range(0, 4, sid=1)
+        protdom.set_rights(1, Rights.parse("rw"))
+        return mmu, pagetable, protdom
+
+    def test_unallocated_fault(self, setup):
+        mmu, _pt, protdom = setup
+        result = mmu.access(protdom, 100 * 8192, AccessKind.READ)
+        assert not result.ok and result.fault is FaultCode.UNALLOCATED
+
+    def test_page_fault_on_null_mapping(self, setup):
+        mmu, _pt, protdom = setup
+        result = mmu.access(protdom, 0, AccessKind.READ)
+        assert not result.ok and result.fault is FaultCode.PAGE
+
+    def test_protection_fault(self, setup, meter):
+        mmu, pagetable, protdom = setup
+        pagetable.lookup(0).map(5)
+        result = mmu.access(protdom, 0, AccessKind.EXECUTE)
+        assert not result.ok and result.fault is FaultCode.PROTECTION
+
+    def test_protection_checked_before_validity(self, setup):
+        # A null mapping in a stretch we cannot touch is a protection
+        # fault, not a page fault: rights come first.
+        mmu, pagetable, protdom = setup
+        result = mmu.access(protdom, 0, AccessKind.EXECUTE)
+        assert result.fault is FaultCode.PROTECTION
+
+    def test_successful_access(self, setup):
+        mmu, pagetable, protdom = setup
+        pagetable.lookup(0).map(5)
+        result = mmu.access(protdom, 123, AccessKind.READ)
+        assert result.ok and result.pfn == 5
+
+    def test_for_fow_software_assist(self, setup):
+        mmu, pagetable, protdom = setup
+        pte = pagetable.lookup(0)
+        pte.map(5)
+        first = mmu.access(protdom, 0, AccessKind.READ)
+        assert first.software_assist and pte.referenced and not pte.dirty
+        second = mmu.access(protdom, 0, AccessKind.READ)
+        assert not second.software_assist
+        write = mmu.access(protdom, 0, AccessKind.WRITE)
+        assert write.software_assist and pte.dirty
+        assert mmu.assists == 2
+
+    def test_tlb_fills_on_valid_translation(self, setup):
+        mmu, pagetable, protdom = setup
+        pagetable.lookup(1).map(7)
+        mmu.access(protdom, 8192, AccessKind.READ)
+        assert mmu.tlb.lookup(1) is not None
+
+    def test_tlb_not_filled_for_null_mappings(self, setup):
+        mmu, _pt, protdom = setup
+        mmu.access(protdom, 0, AccessKind.READ)
+        assert mmu.tlb.lookup(0) is None
+        # (one miss from the access path, one from the assertion above)
+
+    def test_invalidate_forces_pagetable_walk(self, setup, meter):
+        mmu, pagetable, protdom = setup
+        pagetable.lookup(0).map(5)
+        mmu.access(protdom, 0, AccessKind.READ)
+        mmu.invalidate(0)
+        pagetable.lookup(0).make_null()
+        result = mmu.access(protdom, 0, AccessKind.READ)
+        assert result.fault is FaultCode.PAGE

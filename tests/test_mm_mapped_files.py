@@ -1,0 +1,162 @@
+"""Tests for the file system and memory-mapped file driver."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+from repro.usd.sfs import ExtentError
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+
+
+@pytest.fixture
+def filesystem(system):
+    return system.filesystem
+
+
+class TestFileSystem:
+    def test_create_and_open(self, system, filesystem):
+        handle = filesystem.create("a.bin", 1 * MB, QOS)
+        assert filesystem.open("a.bin") is handle
+        assert "a.bin" in filesystem
+        assert handle.nbytes == 1 * MB
+        assert handle.nbloks == 128
+
+    def test_duplicate_name_rejected(self, system, filesystem):
+        filesystem.create("a.bin", 1 * MB, QOS)
+        with pytest.raises(ExtentError):
+            filesystem.create("a.bin", 1 * MB,
+                              QoSSpec(period_ns=250 * MS, slice_ns=10 * MS))
+
+    def test_open_missing_rejected(self, filesystem):
+        with pytest.raises(ExtentError):
+            filesystem.open("ghost")
+
+    def test_page_io(self, system, filesystem):
+        handle = filesystem.create("io.bin", 1 * MB, QOS)
+        done = handle.write(5)
+        result = system.sim.run_until_triggered(done, limit=1 * SEC)
+        assert result.request.lba == handle.extent.start + 5 * 16
+        assert handle.writes == 1
+
+    def test_files_live_on_fs_partition(self, system, filesystem):
+        handle = filesystem.create("p.bin", 1 * MB, QOS)
+        fs_extent = system.fs_partition.extent
+        assert fs_extent.start <= handle.extent.start < fs_extent.end
+
+    def test_io_out_of_range(self, system, filesystem):
+        handle = filesystem.create("r.bin", 1 * MB, QOS)
+        with pytest.raises(ExtentError):
+            handle.read(handle.nbloks)
+
+
+class TestMappedFileDriver:
+    def _mapped(self, system, npages=32, frames=8, depth=4):
+        handle = system.filesystem.create("data", npages * 8192, QOS)
+        app = system.new_app("mm", guaranteed_frames=frames + 2)
+        stretch = app.new_stretch(npages * 8192)
+        driver = app.mmap_driver(handle, frames=frames,
+                                 prefetch_depth=depth)
+        app.bind(stretch, driver)
+        return app, stretch, driver, handle
+
+    def test_first_touch_pages_in_not_zero(self, system):
+        app, stretch, driver, handle = self._mapped(system)
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert driver.zero_fills == 0
+        assert driver.pageins >= stretch.npages
+        assert handle.reads >= stretch.npages
+
+    def test_scan_is_prefetched(self, system):
+        app, stretch, driver, _handle = self._mapped(system)
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)
+                yield Compute(50_000)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert driver.prefetch_mapped > stretch.npages // 3
+
+    def test_dirty_pages_written_back_on_eviction(self, system):
+        app, stretch, driver, handle = self._mapped(system, npages=16,
+                                                    frames=2, depth=1)
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+        # 16 pages through 2 frames: 14 dirty evictions written back to
+        # their fixed file locations.
+        assert handle.writes == 14
+        assert driver.blokmap.allocated == 0  # no dynamic bloks for files
+
+    def test_sync_writes_resident_dirty_pages(self, system):
+        app, stretch, driver, handle = self._mapped(system, npages=8,
+                                                    frames=8)
+        result = {}
+
+        def body():
+            for index in range(4):
+                yield Touch(stretch.va_of_page(index), AccessKind.WRITE)
+            result["synced"] = yield from driver.sync()
+            # After sync everything is clean: a second sync is a no-op.
+            result["again"] = yield from driver.sync()
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert result["synced"] == 4
+        assert result["again"] == 0
+        assert handle.writes == 4
+
+    def test_rewrite_after_sync_is_tracked(self, system):
+        app, stretch, driver, handle = self._mapped(system, npages=4,
+                                                    frames=4)
+        result = {}
+
+        def body():
+            yield Touch(stretch.base, AccessKind.WRITE)
+            yield from driver.sync()
+            yield Touch(stretch.base, AccessKind.WRITE)  # re-dirty
+            result["second"] = yield from driver.sync()
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert result["second"] == 1
+
+    def test_stretch_must_fit_file(self, system):
+        handle = system.filesystem.create("small", 2 * 8192, QOS)
+        app = system.new_app("mm2", guaranteed_frames=4)
+        stretch = app.new_stretch(4 * 8192)
+        driver = app.mmap_driver(handle, frames=2)
+        with pytest.raises(ValueError):
+            app.bind(stretch, driver)
+
+    def test_one_stretch_per_driver(self, system):
+        app, stretch, driver, handle = self._mapped(system)
+        other = app.new_stretch(8192)
+        with pytest.raises(ValueError):
+            driver.bind(other)
+
+    def test_file_io_has_qos(self, system):
+        """Mapped-file paging competes under its own USD guarantee —
+        admission control applies to files like everything else."""
+        system.filesystem.create("big", 1 * MB,
+                                 QoSSpec(period_ns=250 * MS,
+                                         slice_ns=225 * MS))
+        with pytest.raises(ValueError):
+            system.filesystem.create("too-much", 1 * MB,
+                                     QoSSpec(period_ns=250 * MS,
+                                             slice_ns=50 * MS))

@@ -1,0 +1,114 @@
+"""Tests for frame placement: page colouring and contiguous runs
+(§6.2's "special" allocation modes)."""
+
+import pytest
+
+from repro.hw.physmem import PhysicalMemory
+from repro.hw.platform import Machine
+from repro.mm.frames import FramesError
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(Machine(phys_mem_bytes=2 * MB))  # 256 frames
+
+
+class TestColouredAllocation:
+    def test_colour_respected(self, mem):
+        for _ in range(8):
+            pfn = mem.take_any_coloured(3, 8)
+            assert pfn % 8 == 3
+
+    def test_lowest_of_colour_first(self, mem):
+        assert mem.take_any_coloured(2, 4) == 2
+        assert mem.take_any_coloured(2, 4) == 6
+
+    def test_colour_exhaustion(self, mem):
+        total_of_colour = 256 // 8
+        for _ in range(total_of_colour):
+            assert mem.take_any_coloured(0, 8) is not None
+        assert mem.take_any_coloured(0, 8) is None
+        # Other colours unaffected.
+        assert mem.take_any_coloured(1, 8) is not None
+
+    def test_colour_validation(self, mem):
+        with pytest.raises(ValueError):
+            mem.take_any_coloured(8, 8)
+
+    def test_client_coloured_alloc(self, small_system):
+        app = small_system.new_app("c", guaranteed_frames=16)
+        pfns = app.frames.alloc_coloured(4, colour=1, ncolours=4)
+        assert all(pfn % 4 == 1 for pfn in pfns)
+        assert app.frames.allocated == 4
+
+    def test_client_coloured_all_or_nothing(self, small_system):
+        app = small_system.new_app("c", guaranteed_frames=4)
+        # Quota of 4 cannot satisfy 8 coloured frames.
+        with pytest.raises(FramesError):
+            app.frames.alloc_coloured(8, colour=0, ncolours=4)
+        assert app.frames.allocated == 0
+
+
+class TestContiguousAllocation:
+    def test_run_is_contiguous_and_aligned(self, mem):
+        pfns = mem.take_contiguous(8)
+        assert pfns == list(range(pfns[0], pfns[0] + 8))
+        assert pfns[0] % 8 == 0
+
+    def test_skips_fragmented_regions(self, mem):
+        mem.take(2)  # hole in the first 8-frame slot
+        pfns = mem.take_contiguous(8)
+        assert pfns[0] == 8
+
+    def test_non_power_of_two_count(self, mem):
+        pfns = mem.take_contiguous(6)  # aligned to 8
+        assert pfns[0] % 8 == 0
+        assert len(pfns) == 6
+
+    def test_none_when_no_run(self, mem):
+        # Poke a hole in every 4-frame window.
+        for pfn in range(0, 256, 4):
+            mem.take(pfn)
+        assert mem.take_contiguous(4) is None
+
+    def test_validation(self, mem):
+        with pytest.raises(ValueError):
+            mem.take_contiguous(0)
+        with pytest.raises(ValueError):
+            mem.take_contiguous(4, align=3)
+
+    def test_client_contiguous_records_width(self, small_system):
+        app = small_system.new_app("c", guaranteed_frames=16)
+        pfns = app.frames.alloc_contiguous(8)
+        shift = small_system.machine.page_shift
+        for pfn in pfns:
+            assert small_system.ramtab.width(pfn) == shift + 3  # 64 KB run
+            assert small_system.ramtab.owner(pfn) is app.domain
+            assert pfn in app.frames.stack
+
+    def test_client_contiguous_quota(self, small_system):
+        app = small_system.new_app("c", guaranteed_frames=4)
+        with pytest.raises(FramesError):
+            app.frames.alloc_contiguous(8)
+
+    def test_contiguous_frames_usable_by_driver(self, small_system):
+        from repro.hw.mmu import AccessKind
+        from repro.kernel.threads import Touch
+        from repro.sim.units import SEC
+
+        app = small_system.new_app("c", guaranteed_frames=16)
+        pfns = app.frames.alloc_contiguous(4)
+        stretch = app.new_stretch(4 * small_system.machine.page_size)
+        driver = app.physical_driver(frames=0)
+        driver.adopt_frames(pfns)
+        app.bind(stretch, driver)
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+        thread = app.spawn(body())
+        small_system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+        assert thread.done.triggered

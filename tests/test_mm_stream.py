@@ -1,0 +1,140 @@
+"""Tests for the stream-paging driver (the §8 pipelining extension)."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+
+
+def make_app(system, npages=64, frames=8, depth=4, laxity_ms=10):
+    qos = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS,
+                  laxity_ns=laxity_ms * MS)
+    app = system.new_app("stream", guaranteed_frames=frames + 2)
+    stretch = app.new_stretch(npages * system.machine.page_size)
+    driver = app.stream_driver(frames=frames, swap_bytes=2 * MB, qos=qos,
+                               prefetch_depth=depth)
+    app.bind(stretch, driver)
+    return app, stretch, driver
+
+
+def populate_then_read(stretch, passes=2, progress=None):
+    def body():
+        for va in stretch.pages():
+            yield Touch(va, AccessKind.WRITE)
+        for _ in range(passes):
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)
+                yield Compute(50_000)
+                if progress is not None:
+                    progress["pages"] += 1
+    return body()
+
+
+class TestStreamDriver:
+    def test_sequential_reads_mostly_prefetched(self, system):
+        app, stretch, driver = make_app(system)
+        thread = app.spawn(populate_then_read(stretch))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        # Most read pages arrive via prefetch; a fault that merely
+        # rendezvouses with an in-flight prefetch still counts as a
+        # fault, so the stronger claim is on mapped-ahead pages and on
+        # fault reduction, not elimination.
+        read_pages = 2 * stretch.npages
+        read_faults = thread.faults - stretch.npages  # minus populate
+        assert driver.prefetch_mapped > read_pages // 3
+        assert read_faults < read_pages
+
+    def test_no_duplicate_reads(self, system):
+        """Every consumed page is read from disk at most once per
+        residency: prefetch and demand never double-fetch."""
+        app, stretch, driver = make_app(system)
+        progress = {"pages": 0}
+        thread = app.spawn(populate_then_read(stretch, progress=progress))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        assert driver.prefetch_wasted <= driver.prefetches_issued // 10
+        # Page-ins cannot exceed consumed pages by more than the
+        # speculation window.
+        assert driver.pageins <= progress["pages"] + 2 * driver.prefetch_depth
+
+    def test_random_access_disables_prefetch(self, system):
+        import random
+
+        app, stretch, driver = make_app(system)
+        rng = random.Random(3)
+        order = list(range(stretch.npages))
+        rng.shuffle(order)
+
+        def body():
+            for va in stretch.pages():          # populate
+                yield Touch(va, AccessKind.WRITE)
+            for index in order:                  # random reads
+                yield Touch(stretch.va_of_page(index), AccessKind.READ)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        # A shuffled pattern should trigger almost no speculation.
+        assert driver.prefetches_issued < stretch.npages // 2
+
+    def test_beats_demand_paging_without_laxity(self):
+        """Pipelining is the client-side fix for the short-block
+        problem: with l=0 the stream driver keeps several transactions
+        outstanding and far outpaces pure demand paging."""
+        from repro.system import NemesisSystem
+
+        def run(use_stream):
+            system = NemesisSystem()
+            qos = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS,
+                          laxity_ns=0)
+            app = system.new_app("a", guaranteed_frames=10)
+            stretch = app.new_stretch(32 * system.machine.page_size)
+            if use_stream:
+                driver = app.stream_driver(frames=8, swap_bytes=1 * MB,
+                                           qos=qos, prefetch_depth=4)
+            else:
+                driver = app.paged_driver(frames=8, swap_bytes=1 * MB,
+                                          qos=qos)
+            app.bind(stretch, driver)
+            progress = {"pages": 0}
+            thread = app.spawn(populate_then_read(stretch, passes=100,
+                                                  progress=progress))
+            system.run(30 * SEC)
+            return progress["pages"]
+
+        demand = run(False)
+        stream = run(True)
+        assert stream >= 2 * demand, (stream, demand)
+
+    def test_prefetch_never_writes(self, system):
+        """Speculation must not pay a write: page-outs with the stream
+        driver match what pure demand paging would do."""
+        app, stretch, driver = make_app(system)
+        thread = app.spawn(populate_then_read(stretch))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        # Populate pass evicts dirty pages; the read passes evict clean
+        # pages only, prefetch or not.
+        assert driver.pageouts <= stretch.npages
+
+    def test_depth_validation(self, system):
+        with pytest.raises(ValueError):
+            make_app(system, depth=-1)
+
+    def test_depth_zero_disables_prefetch(self, system):
+        app, stretch, driver = make_app(system, depth=0)
+        thread = app.spawn(populate_then_read(stretch))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        assert driver.prefetches_issued == 0
+        assert thread.faults == 3 * stretch.npages  # every touch faults
+
+    def test_frame_conservation(self, system):
+        app, stretch, driver = make_app(system)
+        thread = app.spawn(populate_then_read(stretch))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        resident = sum(1 for vpn in driver._resident
+                       if system.pagetable.peek(vpn) is not None
+                       and system.pagetable.peek(vpn).mapped)
+        assert resident + driver.free_frames == 8

@@ -1,0 +1,219 @@
+"""Tests for RamTab, frame stacks and the blok allocator."""
+
+import pytest
+
+from repro.mm.bloks import BlokMap
+from repro.mm.framestack import FrameStack
+from repro.mm.ramtab import FrameState, RamTab
+
+
+class Owner:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestRamTab:
+    @pytest.fixture
+    def ramtab(self):
+        return RamTab(total_frames=16, default_width=13)
+
+    def test_fresh_frames_unowned(self, ramtab):
+        assert ramtab.owner(0) is None
+        assert ramtab.state(0) is FrameState.UNUSED
+
+    def test_ownership_lifecycle(self, ramtab):
+        owner = Owner("a")
+        ramtab.set_owner(3, owner)
+        assert ramtab.owner(3) is owner
+        assert ramtab.width(3) == 13
+        ramtab.clear_owner(3)
+        assert ramtab.owner(3) is None
+
+    def test_double_ownership_rejected(self, ramtab):
+        ramtab.set_owner(3, Owner("a"))
+        with pytest.raises(ValueError):
+            ramtab.set_owner(3, Owner("b"))
+
+    def test_clear_unowned_rejected(self, ramtab):
+        with pytest.raises(ValueError):
+            ramtab.clear_owner(0)
+
+    def test_cannot_free_mapped_frame(self, ramtab):
+        ramtab.set_owner(3, Owner("a"))
+        ramtab.set_mapped(3, vpn=100)
+        with pytest.raises(ValueError):
+            ramtab.clear_owner(3)
+
+    def test_validate_mappable(self, ramtab):
+        owner = Owner("a")
+        other = Owner("b")
+        ramtab.set_owner(3, owner)
+        ramtab.validate_mappable(3, owner)  # ok
+        with pytest.raises(PermissionError):
+            ramtab.validate_mappable(3, other)
+        ramtab.set_mapped(3, vpn=1)
+        with pytest.raises(ValueError):
+            ramtab.validate_mappable(3, owner)
+
+    def test_nailed_frames_refuse_unmapping(self, ramtab):
+        ramtab.set_owner(3, Owner("a"))
+        ramtab.set_mapped(3, vpn=1, nailed=True)
+        assert ramtab.state(3) is FrameState.NAILED
+        with pytest.raises(ValueError):
+            ramtab.set_unused(3)
+        ramtab.unnail(3)
+        ramtab.set_unused(3)
+        assert ramtab.is_unused(3)
+
+    def test_unnail_requires_nailed(self, ramtab):
+        ramtab.set_owner(3, Owner("a"))
+        with pytest.raises(ValueError):
+            ramtab.unnail(3)
+
+    def test_mapped_vpn(self, ramtab):
+        ramtab.set_owner(3, Owner("a"))
+        ramtab.set_mapped(3, vpn=42)
+        assert ramtab.mapped_vpn(3) == 42
+        ramtab.set_unused(3)
+        assert ramtab.mapped_vpn(3) is None
+
+    def test_owned_by(self, ramtab):
+        owner = Owner("a")
+        for pfn in (2, 5, 9):
+            ramtab.set_owner(pfn, owner)
+        ramtab.set_owner(7, Owner("b"))
+        assert ramtab.owned_by(owner) == [2, 5, 9]
+
+    def test_bad_pfn(self, ramtab):
+        with pytest.raises(ValueError):
+            ramtab.state(99)
+
+
+class TestFrameStack:
+    def test_push_order_is_revocation_order(self):
+        stack = FrameStack()
+        for pfn in (10, 11, 12):
+            stack.push(pfn)
+        assert stack.pfns_top_down() == [12, 11, 10]
+        assert stack.top(2) == [12, 11]
+
+    def test_push_duplicate_rejected(self):
+        stack = FrameStack()
+        stack.push(1)
+        with pytest.raises(ValueError):
+            stack.push(1)
+
+    def test_remove_returns_info(self):
+        stack = FrameStack()
+        stack.push(1)
+        stack.info(1)["vpn"] = 99
+        info = stack.remove(1)
+        assert info == {"vpn": 99}
+        assert 1 not in stack
+
+    def test_move_to_bottom_protects_frame(self):
+        stack = FrameStack()
+        for pfn in (1, 2, 3):
+            stack.push(pfn)
+        stack.move_to_bottom(3)
+        assert stack.top(1) == [2]
+        assert stack.pfns_top_down() == [2, 1, 3]
+
+    def test_move_to_top_offers_frame(self):
+        stack = FrameStack()
+        for pfn in (1, 2, 3):
+            stack.push(pfn)
+        stack.move_to_top(1)
+        assert stack.top(1) == [1]
+
+    def test_top_k_bounds(self):
+        stack = FrameStack()
+        stack.push(1)
+        assert stack.top(5) == [1]
+        assert stack.top(0) == []
+        with pytest.raises(ValueError):
+            stack.top(-1)
+
+    def test_reorder(self):
+        stack = FrameStack()
+        for pfn in (1, 2, 3):
+            stack.push(pfn)
+        stack.reorder([3, 1, 2])  # bottom to top
+        assert stack.pfns_top_down() == [2, 1, 3]
+
+    def test_reorder_must_be_permutation(self):
+        stack = FrameStack()
+        stack.push(1)
+        with pytest.raises(ValueError):
+            stack.reorder([1, 2])
+
+    def test_len_and_contains(self):
+        stack = FrameStack()
+        stack.push(4)
+        assert len(stack) == 1 and 4 in stack and 5 not in stack
+
+
+class TestBlokMap:
+    def test_first_fit_is_lowest_free(self):
+        bloks = BlokMap(64)
+        assert bloks.alloc() == 0
+        assert bloks.alloc() == 1
+        bloks.free_blok(0)
+        assert bloks.alloc() == 0
+
+    def test_exhaustion(self):
+        bloks = BlokMap(4)
+        assert [bloks.alloc() for _ in range(4)] == [0, 1, 2, 3]
+        assert bloks.alloc() is None
+        assert bloks.free == 0
+
+    def test_free_counts(self):
+        bloks = BlokMap(10)
+        bloks.alloc()
+        assert bloks.allocated == 1 and bloks.free == 9
+
+    def test_double_free_rejected(self):
+        bloks = BlokMap(4)
+        bloks.alloc()
+        bloks.free_blok(0)
+        with pytest.raises(ValueError):
+            bloks.free_blok(0)
+
+    def test_free_out_of_range(self):
+        with pytest.raises(ValueError):
+            BlokMap(4).free_blok(9)
+
+    def test_is_allocated(self):
+        bloks = BlokMap(4)
+        bloks.alloc()
+        assert bloks.is_allocated(0)
+        assert not bloks.is_allocated(1)
+
+    def test_spans_multiple_chunks(self):
+        bloks = BlokMap(1000, chunk_bits=64)
+        allocated = [bloks.alloc() for _ in range(200)]
+        assert allocated == list(range(200))
+        # Free one in the first chunk: hint must move back.
+        bloks.free_blok(5)
+        assert bloks.alloc() == 5
+
+    def test_hint_skips_exhausted_chunks(self):
+        bloks = BlokMap(128, chunk_bits=32)
+        for _ in range(40):
+            bloks.alloc()
+        # Hint is in the second chunk now.
+        assert bloks._hint.base == 32
+        assert bloks.alloc() == 40
+
+    def test_chunked_boundary_sizes(self):
+        # Total not a multiple of chunk size.
+        bloks = BlokMap(70, chunk_bits=32)
+        for expected in range(70):
+            assert bloks.alloc() == expected
+        assert bloks.alloc() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlokMap(0)
+        with pytest.raises(ValueError):
+            BlokMap(10, chunk_bits=0)

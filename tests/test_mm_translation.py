@@ -1,0 +1,309 @@
+"""Tests for stretches, the stretch allocator and the translation system."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.mm.rights import Rights
+from repro.mm.stretch_allocator import StretchAllocationError
+from repro.mm.translation import MappingError, NotAuthorized
+
+
+@pytest.fixture
+def env(system):
+    app = system.new_app("owner", guaranteed_frames=16)
+    other = system.new_app("other", guaranteed_frames=4)
+    stretch = app.new_stretch(4 * system.machine.page_size)
+    frames = app.frames.alloc_now(8)
+    return system, app, other, stretch, frames
+
+
+class TestStretch:
+    def test_geometry(self, env):
+        system, app, _other, stretch, _frames = env
+        page = system.machine.page_size
+        assert stretch.npages == 4
+        assert stretch.va_of_page(1) == stretch.base + page
+        assert stretch.page_index(stretch.base + 3 * page) == 3
+        assert stretch.base in stretch
+        assert stretch.end not in stretch
+
+    def test_page_index_outside_raises(self, env):
+        _system, _app, _other, stretch, _frames = env
+        with pytest.raises(ValueError):
+            stretch.page_index(stretch.end)
+        with pytest.raises(IndexError):
+            stretch.va_of_page(4)
+
+    def test_owner_gets_rwm(self, env):
+        _system, app, _other, stretch, _frames = env
+        assert app.domain.protdom.rights_for(stretch.sid) == Rights.parse("rwm")
+
+
+class TestStretchAllocator:
+    def test_stretches_do_not_overlap(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        stretches = [app.new_stretch(3 * system.machine.page_size)
+                     for _ in range(10)]
+        extents = sorted((s.base, s.end) for s in stretches)
+        for (b1, e1), (b2, e2) in zip(extents, extents[1:]):
+            assert e1 <= b2
+
+    def test_size_rounded_to_pages(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        stretch = app.new_stretch(1)
+        assert stretch.nbytes == system.machine.page_size
+
+    def test_requested_start_honoured(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        base = 512 * system.machine.page_size
+        stretch = app.new_stretch(system.machine.page_size, start=base)
+        assert stretch.base == base
+
+    def test_requested_start_conflicts_rejected(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        base = 512 * system.machine.page_size
+        app.new_stretch(system.machine.page_size, start=base)
+        with pytest.raises(StretchAllocationError):
+            app.new_stretch(system.machine.page_size, start=base)
+
+    def test_unaligned_start_rejected(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        with pytest.raises(StretchAllocationError):
+            app.new_stretch(8192, start=12345)
+
+    def test_zero_size_rejected(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        with pytest.raises(StretchAllocationError):
+            system.stretch_allocator.new(app.domain, 0)
+
+    def test_destroy_frees_address_space(self, system):
+        app = system.new_app("a", guaranteed_frames=1)
+        stretch = app.new_stretch(system.machine.page_size)
+        base = stretch.base
+        system.stretch_allocator.destroy(stretch)
+        fresh = app.new_stretch(system.machine.page_size)
+        assert fresh.base == base  # first fit reuses the gap
+
+    def test_destroy_with_mapped_pages_refused(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        with pytest.raises(MappingError):
+            system.stretch_allocator.destroy(stretch)
+
+    def test_stretch_containing(self, env):
+        system, _app, _other, stretch, _frames = env
+        assert system.stretch_allocator.stretch_containing(stretch.base) is stretch
+        assert system.stretch_allocator.stretch_containing(0) is None
+
+    def test_null_mappings_installed(self, env):
+        system, _app, _other, stretch, _frames = env
+        pte = system.pagetable.peek(stretch.base_vpn)
+        assert pte is not None and not pte.mapped and pte.sid == stretch.sid
+
+
+class TestMapUnmapTrans:
+    def test_map_and_trans(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0], attrs=7)
+        assert system.translation.trans(stretch.base) == (frames[0], 7)
+
+    def test_map_validates_meta_right(self, env):
+        system, _app, other, stretch, frames = env
+        with pytest.raises(NotAuthorized):
+            system.translation.map(other.domain, stretch.base, frames[0])
+
+    def test_map_validates_frame_ownership(self, env):
+        system, app, other, stretch, _frames = env
+        stolen = other.frames.alloc_now(1)[0]
+        with pytest.raises(PermissionError):
+            system.translation.map(app.domain, stretch.base, stolen)
+
+    def test_map_outside_any_stretch_fails(self, env):
+        system, app, _other, _stretch, frames = env
+        with pytest.raises(MappingError):
+            system.translation.map(app.domain, 0x4000_0000, frames[0])
+
+    def test_double_map_of_va_fails(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        with pytest.raises(MappingError):
+            system.translation.map(app.domain, stretch.base, frames[1])
+
+    def test_double_map_of_frame_fails(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        with pytest.raises(ValueError):
+            system.translation.map(app.domain, stretch.va_of_page(1),
+                                   frames[0])
+
+    def test_unmap_returns_pfn_and_dirty(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        result = system.kernel.access(app.domain.protdom, stretch.base,
+                                      AccessKind.WRITE)
+        assert result.ok
+        pfn, dirty = system.translation.unmap(app.domain, stretch.base)
+        assert pfn == frames[0] and dirty
+
+    def test_unmap_clean_page(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        _pfn, dirty = system.translation.unmap(app.domain, stretch.base)
+        assert not dirty
+
+    def test_unmap_unmapped_fails(self, env):
+        system, app, _other, stretch, _frames = env
+        with pytest.raises(MappingError):
+            system.translation.unmap(app.domain, stretch.base)
+
+    def test_nailed_unmap_refused(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0],
+                               nailed=True)
+        with pytest.raises(MappingError):
+            system.translation.unmap(app.domain, stretch.base)
+
+    def test_trans_unmapped_is_none(self, env):
+        system, _app, _other, stretch, _frames = env
+        assert system.translation.trans(stretch.base) is None
+
+    def test_unmap_makes_access_fault_again(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0])
+        assert system.kernel.access(app.domain.protdom, stretch.base,
+                                    AccessKind.READ).ok
+        system.translation.unmap(app.domain, stretch.base)
+        result = system.kernel.access(app.domain.protdom, stretch.base,
+                                      AccessKind.READ)
+        assert not result.ok  # TLB was invalidated too
+
+    def test_page_info_reads_bits(self, env):
+        system, app, _other, stretch, frames = env
+        assert system.translation.page_info(stretch.base) == (False, False,
+                                                              False)
+        system.translation.map(app.domain, stretch.base, frames[0])
+        system.kernel.access(app.domain.protdom, stretch.base,
+                             AccessKind.WRITE)
+        mapped, dirty, referenced = system.translation.page_info(stretch.base)
+        assert mapped and dirty and referenced
+
+    def test_force_unmap_frame(self, env):
+        system, app, _other, stretch, frames = env
+        system.translation.map(app.domain, stretch.base, frames[0],
+                               nailed=True)
+        system.translation.force_unmap_frame(frames[0])
+        assert system.ramtab.is_unused(frames[0])
+        assert system.translation.trans(stretch.base) is None
+
+
+class TestProtectionRoutes:
+    def test_pagetable_route_updates_rights(self, env):
+        system, app, _other, stretch, _frames = env
+        changed = system.translation.set_prot_pagetable(
+            app.domain, stretch, Rights.parse("rm"))
+        assert changed
+        assert app.domain.protdom.rights_for(stretch.sid) == Rights.parse("rm")
+
+    def test_protdom_route_updates_rights(self, env):
+        system, app, _other, stretch, _frames = env
+        system.translation.set_prot_protdom(app.domain, stretch,
+                                            Rights.parse("m"))
+        assert app.domain.protdom.rights_for(stretch.sid) == Rights.parse("m")
+
+    def test_idempotent_change_detected(self, env):
+        system, app, _other, stretch, _frames = env
+        rights = app.domain.protdom.rights_for(stretch.sid)
+        assert not system.translation.set_prot_pagetable(app.domain, stretch,
+                                                         rights)
+
+    def test_requires_meta_right(self, env):
+        system, _app, other, stretch, _frames = env
+        with pytest.raises(NotAuthorized):
+            system.translation.set_prot_pagetable(other.domain, stretch,
+                                                  Rights.parse("r"))
+
+    def test_can_grant_to_another_protdom(self, env):
+        """The meta-holder can set rights in a *different* protection
+        domain — this is how sharing is established."""
+        system, app, other, stretch, _frames = env
+        system.translation.set_prot_protdom(app.domain, stretch,
+                                            Rights.parse("r"),
+                                            protdom=other.domain.protdom)
+        assert other.domain.protdom.rights_for(stretch.sid) == Rights.parse("r")
+
+    def test_pagetable_route_cost_scales_with_pages(self, system):
+        app = system.new_app("big", guaranteed_frames=1)
+        small = app.new_stretch(system.machine.page_size)
+        big = app.new_stretch(100 * system.machine.page_size)
+        meter = system.meter
+        system.translation.set_prot_pagetable(app.domain, small,
+                                              Rights.parse("rm"))
+        meter.take()
+        system.translation.set_prot_pagetable(app.domain, small,
+                                              Rights.parse("rwm"))
+        small_cost = meter.take()
+        system.translation.set_prot_pagetable(app.domain, big,
+                                              Rights.parse("rm"))
+        meter.take()
+        system.translation.set_prot_pagetable(app.domain, big,
+                                              Rights.parse("rwm"))
+        big_cost = meter.take()
+        assert big_cost > 10 * small_cost
+
+    def test_protdom_route_cost_constant(self, system):
+        app = system.new_app("big2", guaranteed_frames=1)
+        small = app.new_stretch(system.machine.page_size)
+        big = app.new_stretch(100 * system.machine.page_size)
+        meter = system.meter
+        system.translation.set_prot_protdom(app.domain, small,
+                                            Rights.parse("rm"))
+        meter.take()
+        system.translation.set_prot_protdom(app.domain, small,
+                                            Rights.parse("rwm"))
+        small_cost = meter.take()
+        system.translation.set_prot_protdom(app.domain, big,
+                                            Rights.parse("rm"))
+        meter.take()
+        system.translation.set_prot_protdom(app.domain, big,
+                                            Rights.parse("rwm"))
+        big_cost = meter.take()
+        assert big_cost == small_cost
+
+
+class TestStretchInterface:
+    """§6: protection changes go through the stretch interface."""
+
+    def test_set_rights_protdom_route(self, env):
+        _system, app, _other, stretch, _frames = env
+        stretch.set_rights(app.domain, Rights.parse("rm"))
+        assert stretch.rights_in(app.domain.protdom) == Rights.parse("rm")
+
+    def test_set_rights_pagetable_route(self, env):
+        _system, app, _other, stretch, _frames = env
+        stretch.set_rights(app.domain, Rights.parse("rm"), via="pagetable")
+        assert stretch.rights_in(app.domain.protdom) == Rights.parse("rm")
+
+    def test_grant_to_other_domain(self, env):
+        _system, app, other, stretch, _frames = env
+        stretch.set_rights(app.domain, Rights.parse("r"),
+                           protdom=other.domain.protdom)
+        assert stretch.rights_in(other.domain.protdom) == Rights.parse("r")
+
+    def test_requires_meta(self, env):
+        _system, _app, other, stretch, _frames = env
+        with pytest.raises(NotAuthorized):
+            stretch.set_rights(other.domain, Rights.parse("r"))
+
+    def test_bad_route_rejected(self, env):
+        _system, app, _other, stretch, _frames = env
+        with pytest.raises(ValueError):
+            stretch.set_rights(app.domain, Rights.parse("r"), via="magic")
+
+    def test_unregistered_stretch_rejected(self, env):
+        from repro.mm.stretch import Stretch
+
+        system, app, _other, _stretch, _frames = env
+        orphan = Stretch(999, 0x10000000, system.machine.page_size,
+                         system.machine)
+        with pytest.raises(RuntimeError):
+            orphan.set_rights(app.domain, Rights.parse("r"))

@@ -1,0 +1,85 @@
+"""More property-based scheduler tests: EDF ordering, determinism,
+admission monotonicity."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sched.atropos import AtroposScheduler, QoSSpec
+from repro.sim.core import Simulator
+from repro.sim.trace import Trace
+from repro.sim.units import MS, SEC
+
+
+def qos_strategy():
+    return st.builds(
+        lambda period, share, lax: QoSSpec(
+            period_ns=period * MS,
+            slice_ns=max(int(period * MS * share), 1),
+            laxity_ns=lax * MS),
+        st.integers(20, 200), st.floats(0.05, 0.3), st.integers(0, 10))
+
+
+class TestSchedulerProperties:
+    @given(st.lists(qos_strategy(), min_size=1, max_size=3),
+           st.integers(1, 8))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_deterministic_replay(self, specs, item_ms):
+        """Identical inputs produce identical transaction traces."""
+        def run_once():
+            sim = Simulator()
+            trace = Trace()
+            sched = AtroposScheduler(sim, trace=trace)
+            for index, qos in enumerate(specs):
+                client = sched.admit("c%d" % index, qos)
+
+                def loop(client=client):
+                    while True:
+                        yield client.submit(
+                            lambda: (yield sim.timeout(item_ms * MS)))
+
+                sim.spawn(loop())
+            sim.run(until=2 * SEC)
+            return [(e.time, e.kind, e.client) for e in trace]
+
+        assert run_once() == run_once()
+
+    @given(st.lists(qos_strategy(), min_size=2, max_size=3))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_client_starves_under_saturation(self, specs):
+        sim = Simulator()
+        sched = AtroposScheduler(sim)
+        clients = []
+        counts = {}
+        for index, qos in enumerate(specs):
+            client = sched.admit("c%d" % index, qos)
+            clients.append(client)
+
+            def loop(client=client, name="c%d" % index):
+                while True:
+                    yield client.submit(lambda: (yield sim.timeout(2 * MS)))
+                    counts[name] = counts.get(name, 0) + 1
+
+            sim.spawn(loop())
+        sim.run(until=3 * SEC)
+        for index in range(len(specs)):
+            assert counts.get("c%d" % index, 0) > 0
+
+    @given(st.lists(st.floats(0.02, 0.4), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_admission_exactly_at_capacity_boundary(self, shares):
+        sim = Simulator()
+        sched = AtroposScheduler(sim)
+        admitted = 0.0
+        for index, share in enumerate(shares):
+            qos = QoSSpec(period_ns=100 * MS,
+                          slice_ns=int(share * 100 * MS))
+            if admitted + qos.share <= 1.0 + 1e-12:
+                sched.admit("c%d" % index, qos)
+                admitted += qos.share
+            else:
+                with pytest.raises(ValueError):
+                    sched.admit("c%d" % index, qos)
+        assert sched.admitted_share() == pytest.approx(admitted)

@@ -1,0 +1,120 @@
+"""System-level QoS invariants checked over a full Figure-7-style run.
+
+These are the properties that make the USD "user-safe": they must hold
+over every period of a saturated run, not just on average.
+"""
+
+import pytest
+
+from repro.exp.common import run_paging_experiment, small_config
+from repro.sim.units import MS, SEC
+
+
+@pytest.fixture(scope="module")
+def fig7_run():
+    config = small_config(stretch_bytes=64 * 8192, swap_bytes=128 * 8192,
+                          settle_sec=1.0, measure_sec=10.0)
+    return run_paging_experiment("read-loop", config)
+
+
+def _client_names(result):
+    return [app.driver.swap.name for app in result.apps]
+
+
+class TestPerPeriodInvariants:
+    def test_no_period_exceeds_slice_plus_one_transaction(self, fig7_run):
+        """Roll-over bound: service + lax in any period <= slice + the
+        one non-preemptible transaction that may straddle the boundary."""
+        result = fig7_run
+        trace = result.system.usd_trace
+        period = result.config.period_ms * MS
+        start, end = result.window
+        for app, slice_ms in zip(result.apps, result.config.slices_ms):
+            name = app.driver.swap.name
+            txns = trace.filter(kind="txn", client=name)
+            max_txn = max((t.duration for t in txns), default=0)
+            index = start // period
+            while (index + 1) * period <= end:
+                w0, w1 = index * period, (index + 1) * period
+                used = (trace.total_duration(kind="txn", client=name,
+                                             start=w0, end=w1)
+                        + trace.total_duration(kind="lax", client=name,
+                                               start=w0, end=w1))
+                assert used <= slice_ms * MS + max_txn, (name, index)
+                index += 1
+
+    def test_allocations_on_period_boundaries(self, fig7_run):
+        result = fig7_run
+        trace = result.system.usd_trace
+        period = result.config.period_ms * MS
+        for name in _client_names(result):
+            for alloc in trace.filter(kind="alloc", client=name):
+                assert alloc.time % period == 0, (name, alloc.time)
+
+    def test_one_allocation_per_period(self, fig7_run):
+        result = fig7_run
+        trace = result.system.usd_trace
+        period = result.config.period_ms * MS
+        start, end = result.window
+        nperiods = (end - start) // period
+        for name in _client_names(result):
+            count = trace.count(kind="alloc", client=name, start=start,
+                                end=start + nperiods * period)
+            assert count == nperiods, (name, count, nperiods)
+
+    def test_transactions_never_overlap(self, fig7_run):
+        """One disk, one transaction at a time — across ALL clients."""
+        trace = fig7_run.system.usd_trace
+        txns = sorted(trace.filter(kind="txn"), key=lambda e: e.time)
+        for first, second in zip(txns, txns[1:]):
+            assert first.end <= second.time, (first, second)
+
+    def test_consecutive_run_batching(self, fig7_run):
+        """"this algorithm will tend to perform requests from a single
+        client consecutively" — runs of same-client transactions are
+        much longer than 1 on average."""
+        trace = fig7_run.system.usd_trace
+        start, end = fig7_run.window
+        txns = [e.client for e in sorted(trace.filter(kind="txn",
+                                                      start=start, end=end),
+                                         key=lambda e: e.time)]
+        runs = 1
+        for a, b in zip(txns, txns[1:]):
+            if a != b:
+                runs += 1
+        mean_run = len(txns) / runs
+        assert mean_run >= 4.0, mean_run
+
+    def test_lax_only_charged_to_the_holder(self, fig7_run):
+        """Lax intervals never overlap another client's transaction:
+        the disk really was held idle for the charged client."""
+        trace = fig7_run.system.usd_trace
+        events = sorted(
+            trace.filter(kind="txn") + trace.filter(kind="lax"),
+            key=lambda e: e.time)
+        for first, second in zip(events, events[1:]):
+            if first.kind == "lax" and second.kind == "txn":
+                assert first.end <= second.time or \
+                    first.client == second.client, (first, second)
+
+
+class TestProgressInvariants:
+    def test_all_clients_make_continuous_progress(self, fig7_run):
+        """No client starves for a whole second anywhere in the window
+        (firewalling is continuous, not just on average)."""
+        result = fig7_run
+        start, end = result.window
+        trace = result.system.usd_trace
+        for name in _client_names(result):
+            t = start
+            while t + SEC <= end:
+                count = trace.count(kind="txn", client=name, start=t,
+                                    end=t + SEC)
+                assert count > 0, (name, t)
+                t += SEC
+
+    def test_bytes_processed_equals_pages_times_size(self, fig7_run):
+        result = fig7_run
+        page = result.system.machine.page_size
+        for app in result.apps:
+            assert app.bytes_processed % page == 0

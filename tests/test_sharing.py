@@ -1,0 +1,113 @@
+"""Sharing stretches between domains.
+
+§5: the single address space and "widespread sharing of text" are part
+of why Nemesis domains stay independent. Sharing is established by the
+stretch's meta-holder granting rights to another protection domain;
+after that both domains translate the same pages through the one
+system page table.
+"""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Touch
+from repro.mm.rights import Rights
+from repro.sim.units import MS, SEC
+
+
+@pytest.fixture
+def shared(system):
+    """Producer owns a mapped stretch; consumer gets read rights."""
+    producer = system.new_app("producer", guaranteed_frames=8)
+    consumer = system.new_app("consumer", guaranteed_frames=4)
+    stretch = producer.new_stretch(4 * system.machine.page_size)
+    producer.bind(stretch, producer.physical_driver(frames=4))
+
+    def fill():
+        for va in stretch.pages():
+            yield Touch(va, AccessKind.WRITE)
+
+    thread = producer.spawn(fill())
+    system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+    system.translation.set_prot_protdom(producer.domain, stretch,
+                                        Rights.parse("r"),
+                                        protdom=consumer.domain.protdom)
+    return system, producer, consumer, stretch
+
+
+class TestSharedStretches:
+    def test_consumer_can_read(self, shared):
+        system, _producer, consumer, stretch = shared
+        results = []
+
+        def reader():
+            for va in stretch.pages():
+                result = yield Touch(va, AccessKind.READ)
+                results.append(result.pfn)
+
+        thread = consumer.spawn(reader())
+        system.sim.run_until_triggered(thread.done, limit=5 * SEC)
+        assert len(results) == stretch.npages
+
+    def test_consumer_sees_same_frames(self, shared):
+        system, producer, consumer, stretch = shared
+        # Same page table: both domains translate to identical PFNs.
+        producer_view = [system.kernel.access(producer.domain.protdom, va,
+                                              AccessKind.READ).pfn
+                         for va in stretch.pages()]
+        consumer_view = [system.kernel.access(consumer.domain.protdom, va,
+                                              AccessKind.READ).pfn
+                         for va in stretch.pages()]
+        assert producer_view == consumer_view
+
+    def test_consumer_cannot_write(self, shared):
+        from repro.kernel.threads import ThreadState
+
+        system, _producer, consumer, stretch = shared
+
+        def scribbler():
+            yield Touch(stretch.base, AccessKind.WRITE)
+
+        thread = consumer.spawn(scribbler())
+        system.run_for(100 * MS)
+        assert thread.state is ThreadState.DEAD
+
+    def test_consumer_cannot_remap(self, shared):
+        from repro.mm.translation import NotAuthorized
+
+        system, _producer, consumer, stretch = shared
+        with pytest.raises(NotAuthorized):
+            system.translation.unmap(consumer.domain, stretch.base)
+
+    def test_producer_can_revoke_sharing(self, shared):
+        from repro.kernel.threads import ThreadState
+
+        system, producer, consumer, stretch = shared
+        system.translation.set_prot_protdom(producer.domain, stretch,
+                                            Rights.none(),
+                                            protdom=consumer.domain.protdom)
+
+        def reader():
+            yield Touch(stretch.base, AccessKind.READ)
+
+        thread = consumer.spawn(reader())
+        system.run_for(100 * MS)
+        assert thread.state is ThreadState.DEAD
+
+    def test_meta_grant_enables_full_delegation(self, shared):
+        """Granting meta lets the grantee manage protections itself."""
+        system, producer, consumer, stretch = shared
+        system.translation.set_prot_protdom(producer.domain, stretch,
+                                            Rights.parse("rm"),
+                                            protdom=consumer.domain.protdom)
+        # The consumer can now grant itself write access.
+        system.translation.set_prot_protdom(consumer.domain, stretch,
+                                            Rights.parse("rwm"))
+        assert consumer.domain.protdom.rights_for(stretch.sid).permits(
+            AccessKind.WRITE)
+
+    def test_sharing_survives_protection_domain_isolation(self, shared):
+        """Rights granted to one consumer do not leak to a third party."""
+        system, _producer, _consumer, stretch = shared
+        stranger = system.new_app("stranger", guaranteed_frames=2)
+        assert not stranger.domain.protdom.rights_for(stretch.sid)

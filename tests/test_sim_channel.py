@@ -1,0 +1,141 @@
+"""Tests for bounded FIFO channels."""
+
+import pytest
+
+from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.units import US
+
+
+class TestBasicFifo:
+    def test_put_then_get(self, sim):
+        channel = Channel(sim)
+        channel.put("a")
+        got = channel.get()
+        sim.run()
+        assert got.value == "a"
+
+    def test_fifo_order(self, sim):
+        channel = Channel(sim)
+        for item in ("a", "b", "c"):
+            channel.put(item)
+        values = [channel.get() for _ in range(3)]
+        sim.run()
+        assert [v.value for v in values] == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        channel = Channel(sim)
+        got = channel.get()
+        assert not got.triggered
+        sim.call_after(5 * US, lambda: channel.put("late"))
+        sim.run()
+        assert got.value == "late"
+
+    def test_getters_served_in_order(self, sim):
+        channel = Channel(sim)
+        first = channel.get()
+        second = channel.get()
+        channel.put(1)
+        channel.put(2)
+        sim.run()
+        assert first.value == 1 and second.value == 2
+
+    def test_len_counts_queued_items(self, sim):
+        channel = Channel(sim)
+        channel.put("x")
+        channel.put("y")
+        assert len(channel) == 2
+
+    def test_peek_does_not_remove(self, sim):
+        channel = Channel(sim)
+        channel.put("x")
+        assert channel.peek() == "x"
+        assert len(channel) == 1
+
+    def test_peek_empty_is_none(self, sim):
+        assert Channel(sim).peek() is None
+
+
+class TestCapacity:
+    def test_put_blocks_when_full(self, sim):
+        channel = Channel(sim, capacity=1)
+        first = channel.put("a")
+        second = channel.put("b")
+        assert first.triggered and not second.triggered
+        got = channel.get()
+        sim.run()
+        assert got.value == "a"
+        assert second.triggered
+        assert channel.peek() == "b"
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Channel(sim, capacity=0)
+
+    def test_try_put_reports_full(self, sim):
+        channel = Channel(sim, capacity=1)
+        assert channel.try_put("a")
+        assert not channel.try_put("b")
+
+    def test_try_get(self, sim):
+        channel = Channel(sim)
+        assert channel.try_get() == (False, None)
+        channel.put("v")
+        assert channel.try_get() == (True, "v")
+
+    def test_try_get_unblocks_putter(self, sim):
+        channel = Channel(sim, capacity=1)
+        channel.put("a")
+        waiting = channel.put("b")
+        channel.try_get()
+        assert waiting.triggered
+
+    def test_handoff_to_waiting_getter_bypasses_capacity(self, sim):
+        channel = Channel(sim, capacity=1)
+        got = channel.get()
+        channel.put("direct")
+        sim.run()
+        assert got.value == "direct"
+        assert len(channel) == 0
+
+
+class TestClose:
+    def test_put_after_close_fails(self, sim):
+        channel = Channel(sim)
+        channel.close()
+        done = channel.put("x")
+        assert done.triggered and not done.ok
+
+    def test_get_after_close_drains_then_fails(self, sim):
+        channel = Channel(sim)
+        channel.put("last")
+        channel.close()
+        first = channel.get()
+        second = channel.get()
+        sim.run()
+        assert first.value == "last"
+        assert second.triggered and not second.ok
+
+    def test_close_fails_pending_getters(self, sim):
+        channel = Channel(sim)
+        pending = channel.get()
+        channel.close()
+        assert pending.triggered and not pending.ok
+
+    def test_close_fails_pending_putters(self, sim):
+        channel = Channel(sim, capacity=1)
+        channel.put("a")
+        pending = channel.put("b")
+        channel.close()
+        assert pending.triggered and not pending.ok
+
+    def test_double_close_is_noop(self, sim):
+        channel = Channel(sim)
+        channel.close()
+        channel.close()
+        assert channel.closed
+
+    def test_try_put_on_closed_raises(self, sim):
+        channel = Channel(sim)
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.try_put("x")

@@ -1,0 +1,154 @@
+"""End-to-end integration tests on full NemesisSystem instances."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Compute, Touch
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, extra=False,
+              laxity_ns=10 * MS)
+
+
+def sequential(stretch, kind=AccessKind.WRITE, passes=1, progress=None):
+    def body():
+        for _ in range(passes):
+            for va in stretch.pages():
+                yield Touch(va, kind)
+                if progress is not None:
+                    progress["bytes"] += stretch.machine.page_size
+    return body()
+
+
+class TestEndToEndPaging:
+    def test_working_set_larger_than_memory(self, system):
+        """A 64-page stretch through a 2-frame pool, twice over."""
+        app = system.new_app("e2e", guaranteed_frames=4)
+        stretch = app.new_stretch(64 * system.machine.page_size)
+        driver = app.paged_driver(frames=2, swap_bytes=2 * MB, qos=QOS)
+        app.bind(stretch, driver)
+        thread = app.spawn(sequential(stretch, passes=2))
+        system.sim.run_until_triggered(thread.done, limit=300 * SEC)
+        assert driver.pageouts >= 62
+        assert driver.pageins >= 62
+        # Conservation: every frame the driver owns is either mapped or
+        # in its pool.
+        assert len(driver._resident) + driver.free_frames == 2
+
+    def test_two_apps_fully_isolated_address_spaces(self, system):
+        apps = []
+        for name in ("alpha", "beta"):
+            app = system.new_app(name, guaranteed_frames=8)
+            stretch = app.new_stretch(4 * system.machine.page_size)
+            app.bind(stretch, app.physical_driver(frames=4))
+            apps.append((app, stretch))
+        threads = [app.spawn(sequential(stretch))
+                   for app, stretch in apps]
+        for thread in threads:
+            system.sim.run_until_triggered(thread.done, limit=30 * SEC)
+        (app_a, stretch_a), (app_b, stretch_b) = apps
+        # Single address space: stretches do not overlap...
+        assert stretch_a.end <= stretch_b.base or stretch_b.end <= stretch_a.base
+        # ...and neither domain holds rights on the other's stretch.
+        assert not app_a.domain.protdom.rights_for(stretch_b.sid)
+        assert not app_b.domain.protdom.rights_for(stretch_a.sid)
+        # Frames are disjoint.
+        frames_a = set(system.ramtab.owned_by(app_a.domain))
+        frames_b = set(system.ramtab.owned_by(app_b.domain))
+        assert not (frames_a & frames_b)
+
+    def test_faulting_app_does_not_stall_nailed_app(self, system):
+        """The self-paging claim in miniature: a heavy pager and a
+        nailed-memory compute app share the machine; the compute app's
+        progress is unaffected by the pager's disk storms."""
+        pager = system.new_app("pager", guaranteed_frames=4)
+        pager_stretch = pager.new_stretch(64 * system.machine.page_size)
+        pager.bind(pager_stretch,
+                   pager.paged_driver(frames=2, swap_bytes=2 * MB, qos=QOS))
+        compute = system.new_app("compute", guaranteed_frames=8)
+        compute_stretch = compute.new_stretch(4 * system.machine.page_size)
+        compute.bind(compute_stretch, compute.nailed_driver())
+        progress = {"ticks": 0}
+
+        def compute_loop():
+            while True:
+                yield Touch(compute_stretch.base, AccessKind.WRITE)
+                yield Compute(1 * MS)
+                progress["ticks"] += 1
+
+        pager_thread = pager.spawn(sequential(pager_stretch, passes=3))
+        compute.spawn(compute_loop())
+        system.run_for(10 * SEC)
+        # ~1 ms per tick on a FIFO CPU with a mostly-blocked competitor.
+        assert progress["ticks"] >= 8500
+        assert pager_thread.faults > 100
+
+    def test_deterministic_replay(self):
+        """Two identical systems produce byte-identical traces."""
+        from repro.system import NemesisSystem
+
+        def run_once():
+            system = NemesisSystem()
+            app = system.new_app("det", guaranteed_frames=4)
+            stretch = app.new_stretch(32 * system.machine.page_size)
+            driver = app.paged_driver(frames=2, swap_bytes=1 * MB, qos=QOS)
+            app.bind(stretch, driver)
+            app.spawn(sequential(stretch, passes=2))
+            system.run(20 * SEC)
+            return [(e.time, e.kind, e.client, e.duration)
+                    for e in system.usd_trace]
+
+        first = run_once()
+        second = run_once()
+        assert first and first == second
+
+    def test_bytes_progress_accounting(self, system):
+        app = system.new_app("acct", guaranteed_frames=4)
+        stretch = app.new_stretch(16 * system.machine.page_size)
+        app.bind(stretch,
+                 app.paged_driver(frames=2, swap_bytes=1 * MB, qos=QOS))
+        progress = {"bytes": 0}
+        thread = app.spawn(sequential(stretch, progress=progress))
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert progress["bytes"] == 16 * system.machine.page_size
+
+
+class TestSystemConfiguration:
+    def test_guarded_pagetable_system_works(self):
+        from repro.system import NemesisSystem
+
+        system = NemesisSystem(pagetable="guarded")
+        app = system.new_app("g", guaranteed_frames=4)
+        stretch = app.new_stretch(2 * system.machine.page_size)
+        app.bind(stretch, app.physical_driver(frames=2))
+        thread = app.spawn(sequential(stretch))
+        system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+
+    def test_unlimited_and_atropos_cpus_work(self):
+        from repro.system import NemesisSystem
+
+        for cpu in ("unlimited", "atropos"):
+            system = NemesisSystem(cpu=cpu)
+            app = system.new_app("c", guaranteed_frames=4)
+            stretch = app.new_stretch(2 * system.machine.page_size)
+            app.bind(stretch, app.physical_driver(frames=2))
+            thread = app.spawn(sequential(stretch))
+            system.sim.run_until_triggered(thread.done, limit=10 * SEC)
+
+    def test_invalid_configuration_rejected(self):
+        from repro.system import NemesisSystem
+
+        with pytest.raises(ValueError):
+            NemesisSystem(pagetable="inverted")
+        with pytest.raises(ValueError):
+            NemesisSystem(cpu="quantum")
+        with pytest.raises(ValueError):
+            NemesisSystem(backing="nfs")
+
+    def test_take_guaranteed_frames_idiom(self, system):
+        app = system.new_app("idiom", guaranteed_frames=32)
+        pfns = app.take_guaranteed_frames()
+        assert len(pfns) == 32
+        assert app.take_guaranteed_frames() == []  # already at g

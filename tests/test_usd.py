@@ -1,0 +1,187 @@
+"""Tests for the USD, IO channels and the swap filesystem."""
+
+import pytest
+
+from repro.hw.disk import Disk, DiskRequest, READ, WRITE
+from repro.sched.atropos import QoSSpec
+from repro.sim.trace import Trace
+from repro.sim.units import MS, SEC, US
+from repro.usd.iochannel import IOChannel
+from repro.usd.sfs import ExtentError, Partition, SwapFile, SwapFileSystem
+from repro.usd.usd import USD
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=100 * MS, slice_ns=50 * MS, laxity_ns=5 * MS)
+
+
+@pytest.fixture
+def usd(sim):
+    return USD(sim, Disk(sim), trace=Trace("usd"))
+
+
+class TestUSD:
+    def test_transaction_returns_disk_result(self, sim, usd):
+        client = usd.admit("c", QOS)
+        done = client.submit(DiskRequest(kind=READ, lba=1000, nblocks=16))
+        result = sim.run_until_triggered(done, limit=1 * SEC)
+        assert result.request.lba == 1000
+        assert result.duration > 0
+
+    def test_client_tag_stamped_on_requests(self, sim, usd):
+        client = usd.admit("tagged", QOS)
+        client.submit(DiskRequest(kind=READ, lba=1000, nblocks=16))
+        sim.run(until=1 * SEC)
+        txns = usd.trace.filter(kind="txn", client="tagged")
+        assert len(txns) == 1
+
+    def test_admission_control(self, sim, usd):
+        usd.admit("a", QoSSpec(period_ns=100 * MS, slice_ns=70 * MS))
+        with pytest.raises(ValueError):
+            usd.admit("b", QoSSpec(period_ns=100 * MS, slice_ns=40 * MS))
+
+    def test_accounting_charges_measured_duration(self, sim, usd):
+        client = usd.admit("c", QOS)
+        done = client.submit(DiskRequest(kind=WRITE, lba=2_000_000,
+                                         nblocks=16))
+        result = sim.run_until_triggered(done, limit=1 * SEC)
+        assert client.served_ns == result.duration
+        assert client.transactions == 1
+        assert client.blocks_moved == 16
+
+    def test_guarantee_enforced_between_competitors(self, sim, usd):
+        big = usd.admit("big", QoSSpec(period_ns=100 * MS, slice_ns=40 * MS,
+                                       laxity_ns=5 * MS))
+        small = usd.admit("small", QoSSpec(period_ns=100 * MS,
+                                           slice_ns=10 * MS,
+                                           laxity_ns=5 * MS))
+        counts = {"big": 0, "small": 0}
+
+        def loop(client, name, base):
+            i = 0
+            while True:
+                yield client.submit(DiskRequest(
+                    kind=READ, lba=base + (i % 64) * 16, nblocks=16))
+                counts[name] += 1
+                i += 1
+
+        sim.spawn(loop(big, "big", 500_000))
+        sim.spawn(loop(small, "small", 2_000_000))
+        sim.run(until=5 * SEC)
+        ratio = counts["big"] / counts["small"]
+        assert 3.0 <= ratio <= 5.0
+
+    def test_depart(self, sim, usd):
+        client = usd.admit("c", QOS)
+        usd.depart(client)
+        assert client not in usd.clients
+
+
+class TestIOChannel:
+    def test_depth_enforced(self, sim, usd):
+        client = usd.admit("c", QOS)
+        channel = IOChannel(sim, client, depth=2)
+        channel.submit(DiskRequest(kind=READ, lba=1000, nblocks=16))
+        channel.submit(DiskRequest(kind=READ, lba=2000, nblocks=16))
+        assert not channel.can_submit
+        with pytest.raises(RuntimeError):
+            channel.submit(DiskRequest(kind=READ, lba=3000, nblocks=16))
+
+    def test_slot_becomes_available_on_completion(self, sim, usd):
+        client = usd.admit("c", QOS)
+        channel = IOChannel(sim, client, depth=1)
+        channel.submit(DiskRequest(kind=READ, lba=1000, nblocks=16))
+        slot = channel.slot()
+        assert not slot.triggered
+        sim.run(until=1 * SEC)
+        assert slot.triggered
+        assert channel.can_submit
+
+    def test_slot_immediate_when_free(self, sim, usd):
+        client = usd.admit("c", QOS)
+        channel = IOChannel(sim, client, depth=1)
+        assert channel.slot().triggered
+
+    def test_depth_validation(self, sim, usd):
+        client = usd.admit("c", QOS)
+        with pytest.raises(ValueError):
+            IOChannel(sim, client, depth=0)
+
+    def test_outstanding_counter(self, sim, usd):
+        client = usd.admit("c", QOS)
+        channel = IOChannel(sim, client, depth=4)
+        for i in range(3):
+            channel.submit(DiskRequest(kind=READ, lba=1000 + i * 16,
+                                       nblocks=16))
+        assert channel.outstanding == 3
+        sim.run(until=1 * SEC)
+        assert channel.outstanding == 0
+        assert channel.submitted == 3
+
+
+class TestPartitionAndExtents:
+    def test_bump_allocation(self):
+        partition = Partition("p", 1000, 500)
+        first = partition.allocate_extent(100)
+        second = partition.allocate_extent(100)
+        assert first.start == 1000 and second.start == 1100
+        assert partition.free_blocks == 300
+
+    def test_exhaustion(self):
+        partition = Partition("p", 0, 100)
+        partition.allocate_extent(100)
+        with pytest.raises(ExtentError):
+            partition.allocate_extent(1)
+
+    def test_invalid_sizes(self):
+        partition = Partition("p", 0, 100)
+        with pytest.raises(ExtentError):
+            partition.allocate_extent(0)
+
+
+class TestSwapFile:
+    @pytest.fixture
+    def sfs(self, sim, usd):
+        from repro.hw.platform import ALPHA_EB164
+
+        return SwapFileSystem(sim, usd, ALPHA_EB164,
+                              Partition("swap", 262144, 1_000_000))
+
+    def test_create_negotiates_qos(self, sim, sfs):
+        swapfile = sfs.create_swapfile("s", 1 * MB, QOS)
+        assert swapfile.nbloks == 1 * MB // 8192
+        assert swapfile in sfs.swapfiles
+
+    def test_create_rejected_when_usd_full(self, sim, sfs):
+        sfs.create_swapfile("a", 1 * MB,
+                            QoSSpec(period_ns=100 * MS, slice_ns=90 * MS))
+        with pytest.raises(ValueError):
+            sfs.create_swapfile("b", 1 * MB,
+                                QoSSpec(period_ns=100 * MS,
+                                        slice_ns=20 * MS))
+
+    def test_blok_addressing(self, sim, sfs):
+        swapfile = sfs.create_swapfile("s", 1 * MB, QOS)
+        done = swapfile.write(3)
+        result = sim.run_until_triggered(done, limit=1 * SEC)
+        assert result.request.lba == swapfile.extent.start + 3 * 16
+        assert result.request.nblocks == 16
+        assert result.request.kind == WRITE
+
+    def test_blok_out_of_range(self, sim, sfs):
+        swapfile = sfs.create_swapfile("s", 1 * MB, QOS)
+        with pytest.raises(ExtentError):
+            swapfile.read(swapfile.nbloks)
+
+    def test_read_write_counters(self, sim, sfs):
+        swapfile = sfs.create_swapfile("s", 1 * MB, QOS)
+        swapfile.write(0)
+        swapfile.read(0)
+        sim.run(until=1 * SEC)
+        assert swapfile.writes == 1 and swapfile.reads == 1
+
+    def test_too_small_extent_rejected(self, sim, sfs):
+        client = sfs.usd.admit("tiny", QoSSpec(period_ns=100 * MS,
+                                               slice_ns=1 * MS))
+        with pytest.raises(ExtentError):
+            SwapFile(sim, "tiny", sfs.partition.allocate_extent(8),
+                     client, sfs.machine)

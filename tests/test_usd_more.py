@@ -1,0 +1,150 @@
+"""Additional USD scenarios: slack distribution, departures under load,
+mixed read/write streams, trace completeness."""
+
+import pytest
+
+from repro.hw.disk import Disk, DiskRequest, READ, WRITE
+from repro.sched.atropos import QoSSpec
+from repro.sim.trace import Trace
+from repro.sim.units import MS, SEC
+from repro.usd.usd import USD
+
+
+@pytest.fixture
+def usd(sim):
+    return USD(sim, Disk(sim), trace=Trace("usd"))
+
+
+def closed_loop(sim, client, base, counts, kind=READ):
+    def loop():
+        index = 0
+        while True:
+            yield client.submit(DiskRequest(
+                kind=kind, lba=base + (index % 128) * 16, nblocks=16))
+            counts[client.name] = counts.get(client.name, 0) + 1
+            index += 1
+    return loop()
+
+
+class TestSlackDistribution:
+    def test_slack_goes_to_eligible_clients_only(self, sim, usd):
+        eligible = usd.admit("eligible", QoSSpec(
+            period_ns=100 * MS, slice_ns=10 * MS, extra=True,
+            laxity_ns=5 * MS))
+        capped = usd.admit("capped", QoSSpec(
+            period_ns=100 * MS, slice_ns=10 * MS, extra=False,
+            laxity_ns=5 * MS))
+        counts = {}
+        sim.spawn(closed_loop(sim, eligible, 500_000, counts))
+        sim.spawn(closed_loop(sim, capped, 2_000_000, counts))
+        sim.run(until=10 * SEC)
+        # Equal guarantees, 80% of the disk is slack: the eligible
+        # client should far outrun the capped one.
+        assert counts["eligible"] > 3 * counts["capped"]
+
+    def test_slack_does_not_erode_guarantees(self, sim, usd):
+        """A slack-hungry client cannot push a guaranteed client below
+        its contract."""
+        hungry = usd.admit("hungry", QoSSpec(
+            period_ns=100 * MS, slice_ns=5 * MS, extra=True,
+            laxity_ns=5 * MS))
+        steady = usd.admit("steady", QoSSpec(
+            period_ns=100 * MS, slice_ns=40 * MS, extra=False,
+            laxity_ns=5 * MS))
+        counts = {}
+        sim.spawn(closed_loop(sim, hungry, 500_000, counts))
+        sim.spawn(closed_loop(sim, steady, 2_000_000, counts))
+        sim.run(until=10 * SEC)
+        served = steady._sched_client.served_ns + steady._sched_client.lax_ns
+        assert served >= 0.9 * 0.40 * 10 * SEC
+
+
+class TestDeparture:
+    def test_departure_under_load_frees_bandwidth(self, sim, usd):
+        quitter = usd.admit("quitter", QoSSpec(
+            period_ns=100 * MS, slice_ns=50 * MS, laxity_ns=5 * MS))
+        stayer = usd.admit("stayer", QoSSpec(
+            period_ns=100 * MS, slice_ns=40 * MS, extra=True,
+            laxity_ns=5 * MS))
+        counts = {}
+        sim.spawn(closed_loop(sim, quitter, 500_000, counts))
+        sim.spawn(closed_loop(sim, stayer, 2_000_000, counts))
+        sim.run(until=5 * SEC)
+
+        def depart_later():
+            yield sim.timeout(0)
+            usd.depart(quitter)
+
+        sim.spawn(depart_later())
+        before = counts["stayer"]
+        sim.run(until=10 * SEC)
+        after = counts["stayer"] - before
+        # The stayer (slack-eligible) absorbs the quitter's bandwidth.
+        assert after > 1.5 * before
+
+    def test_departed_clients_queued_items_are_dropped(self, sim, usd):
+        client = usd.admit("gone", QoSSpec(period_ns=100 * MS,
+                                           slice_ns=50 * MS))
+        done = client.submit(DiskRequest(kind=READ, lba=500_000,
+                                         nblocks=16))
+        usd.depart(client)
+        sim.run(until=1 * SEC)
+        # The item was never served (no crash either).
+        assert not done.triggered
+
+
+class TestMixedStreams:
+    def test_reads_and_writes_share_one_guarantee(self, sim, usd):
+        client = usd.admit("mixed", QoSSpec(period_ns=100 * MS,
+                                            slice_ns=30 * MS,
+                                            laxity_ns=5 * MS))
+        counts = {"reads": 0, "writes": 0}
+
+        def loop():
+            index = 0
+            while True:
+                kind = READ if index % 2 else WRITE
+                done = client.submit(DiskRequest(
+                    kind=kind, lba=500_000 + (index % 64) * 16,
+                    nblocks=16))
+                yield done
+                counts["reads" if kind == READ else "writes"] += 1
+                index += 1
+
+        sim.spawn(loop())
+        sim.run(until=5 * SEC)
+        assert counts["reads"] > 0 and counts["writes"] > 0
+        served = client._sched_client.served_ns + client._sched_client.lax_ns
+        assert served <= 0.30 * 5 * SEC + 20 * MS  # one overrun of slop
+
+
+class TestTraceCompleteness:
+    def test_every_submission_appears_in_the_trace(self, sim, usd):
+        client = usd.admit("traced", QoSSpec(period_ns=100 * MS,
+                                             slice_ns=80 * MS,
+                                             laxity_ns=5 * MS))
+        total = 25
+
+        def loop():
+            for index in range(total):
+                yield client.submit(DiskRequest(
+                    kind=READ, lba=500_000 + index * 16, nblocks=16))
+
+        proc = sim.spawn(loop())
+        sim.run_until_triggered(proc, limit=30 * SEC)
+        assert usd.trace.count(kind="txn", client="traced") == total
+
+    def test_trace_durations_match_accounting(self, sim, usd):
+        client = usd.admit("acct", QoSSpec(period_ns=100 * MS,
+                                           slice_ns=80 * MS,
+                                           laxity_ns=5 * MS))
+
+        def loop():
+            for index in range(10):
+                yield client.submit(DiskRequest(
+                    kind=WRITE, lba=2_000_000 + index * 16, nblocks=16))
+
+        proc = sim.spawn(loop())
+        sim.run_until_triggered(proc, limit=30 * SEC)
+        traced = usd.trace.total_duration(kind="txn", client="acct")
+        assert traced == client.served_ns
