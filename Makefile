@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test obs report lint
+
+# Tier-1 suite (the repo's acceptance bar) + the observability tests.
+verify: test obs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+obs:
+	$(PYTHON) -m pytest -q tests/test_obs_metrics.py \
+	    tests/test_obs_instrumentation.py \
+	    tests/test_properties_sched.py \
+	    tests/test_sim_trace_units.py
+
+# Accountability workload + JSON metrics snapshot (results/metrics.json).
+report:
+	$(PYTHON) -m repro.exp report --metrics
+
+lint:
+	$(PYTHON) -m compileall -q src

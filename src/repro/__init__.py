@@ -33,6 +33,7 @@ from repro.hw.mmu import AccessKind, FaultCode
 from repro.hw.platform import ALPHA_EB164, Machine
 from repro.kernel.threads import Compute, Touch, Wait, Yield
 from repro.mm.rights import Right, Rights
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.sched.atropos import QoSSpec
 from repro.sim.units import MS, NS, SEC, US
 from repro.system import App, NemesisSystem
@@ -50,8 +51,10 @@ __all__ = [
     "FaultCode",
     "MS",
     "Machine",
+    "MetricsRegistry",
     "NS",
     "NemesisSystem",
+    "SpanTracer",
     "QUANTUM_VP3221",
     "QoSSpec",
     "READ",

@@ -1,16 +1,19 @@
 """Run the whole evaluation from the command line.
 
     python -m repro.exp [table1|fig7|fig8|fig9|ablations|all]
+    python -m repro.exp report --metrics [--out DIR]
 
 Without arguments, everything runs at paper scale (a few minutes of
 simulated-time crunching). Individual experiments accept the same names
-as their modules.
+as their modules. ``report`` runs the accountability workload and dumps
+a JSON metrics snapshot next to the figure outputs (see
+:mod:`repro.exp.metrics_report`).
 """
 
 import sys
 import time
 
-from repro.exp import ablations, fig7, fig8, fig9, microbench
+from repro.exp import ablations, fig7, fig8, fig9, metrics_report, microbench
 
 
 def _banner(title):
@@ -55,6 +58,9 @@ RUNNERS = {
 
 
 def main(argv):
+    if argv and argv[0] == "report":
+        _banner("Metrics report")
+        return metrics_report.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)

@@ -70,6 +70,14 @@ class Domain:
         self._wake = sim.event("%s.wake" % self.name)
         self._last_thread = None
         self._rr_next = 0
+        # Bound metrics children: one cell per domain, shared by all of
+        # the domain's channels (accountability is per-domain).
+        self._c_events_sent = kernel._m_events_sent.child(domain=self.name)
+        self._c_faults_dispatched = kernel._m_faults.child(domain=self.name)
+        self._c_activations = kernel.metrics.counter(
+            "kernel_activations_total",
+            help="domain activations (event-drain entries)"
+        ).child(domain=self.name)
         self.fault_channel = self.create_channel("fault")
         self.proc = sim.spawn(self._run(), name="domain-%s" % self.name)
 
@@ -78,7 +86,8 @@ class Domain:
     def create_channel(self, name, handler=None):
         """Create an event channel owned (received) by this domain."""
         channel = EventChannel(self.sim, "%s.%s" % (self.name, name),
-                               meter=self.meter)
+                               meter=self.meter,
+                               counter=self._c_events_sent)
         channel.attach(self, handler)
         self.channels.append(channel)
         return channel
@@ -156,6 +165,7 @@ class Domain:
     def _activate(self):
         """One activation: drain events through notification handlers."""
         self.activations += 1
+        self._c_activations.inc()
         self.meter.charge("activate")
         self.in_activation_handler = True
         try:

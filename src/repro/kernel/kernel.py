@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 from repro.hw.mmu import AccessKind, AccessResult, FaultCode
 from repro.kernel.domain import Domain
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.spans import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -37,12 +39,21 @@ class FaultRecord:
 class Kernel:
     """The minimal privileged core: translation consultation + dispatch."""
 
-    def __init__(self, sim, machine, mmu, meter, cpu):
+    def __init__(self, sim, machine, mmu, meter, cpu, metrics=None,
+                 spans=None):
         self.sim = sim
         self.machine = machine
         self.mmu = mmu
         self.meter = meter
         self.cpu = cpu
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.spans = spans if spans is not None else NULL_TRACER
+        self._m_events_sent = self.metrics.counter(
+            "kernel_events_sent_total",
+            help="event-channel transmissions, by receiving domain")
+        self._m_faults = self.metrics.counter(
+            "kernel_faults_dispatched_total",
+            help="memory faults dispatched to a domain's fault channel")
         self.domains = []
         self.faults_dispatched = 0
 
@@ -70,5 +81,6 @@ class Kernel:
                              code=result.fault, thread=thread,
                              time=self.sim.now)
         self.faults_dispatched += 1
+        domain._c_faults_dispatched.inc()
         domain.fault_channel.send(record)  # charges event_send
         return record

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from repro.hw.mmu import FaultCode  # noqa: F401  (re-exported context)
 from repro.mm.framestack import FrameStack
 from repro.mm.ramtab import FrameState
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.spans import NULL_TRACER
 from repro.sim.units import MS
 
 
@@ -52,7 +54,27 @@ class FramesClient:
         self.guaranteed = guaranteed
         self.extra = extra
         self.allocated = 0            # n
-        self.stack = FrameStack()
+        name = domain.name if domain is not None else "?"
+        metrics = allocator.metrics
+        self._c_grants = metrics.counter(
+            "frames_grants_total", help="frames granted, by domain"
+        ).child(domain=name)
+        self._c_frees = metrics.counter(
+            "frames_frees_total", help="frames voluntarily returned"
+        ).child(domain=name)
+        self._g_allocated = metrics.gauge(
+            "frames_allocated", help="frames currently held (n)"
+        ).child(domain=name)
+        self._stack_gauge = metrics.gauge(
+            "frames_stack_depth", help="frame-stack depth"
+        ).child(domain=name)
+        self._m_revoked = metrics.counter(
+            "frames_revoked_total",
+            help="frames taken back, by domain and kind "
+                 "(transparent/intrusive/kill)")
+        self._c_revoked_transparent = self._m_revoked.child(
+            domain=name, kind="transparent")
+        self.stack = FrameStack(depth_gauge=self._stack_gauge)
         self.revocation_channel = None   # set by the MMEntry
         self._reply_event = None         # pending intrusive revocation
         self.killed = False
@@ -122,8 +144,10 @@ class FramesClient:
                                             width=run_width)
             self.stack.push(pfn)
             self.allocated += 1
+            self._c_grants.inc()
             self.allocator._record("grant", self, pfn=pfn,
                                    optimistic=self.allocated > self.guaranteed)
+        self._g_allocated.set(self.allocated)
         return pfns
 
     def request_frames(self, count=1):
@@ -162,12 +186,21 @@ class FramesAllocator:
     """The centralised physical-memory allocator (system domain)."""
 
     def __init__(self, sim, physmem, ramtab, translation, trace=None,
-                 revocation_timeout=100 * MS, system_reserve=0):
+                 revocation_timeout=100 * MS, system_reserve=0,
+                 metrics=None, spans=None):
         self.sim = sim
         self.physmem = physmem
         self.ramtab = ramtab
         self.translation = translation
         self.trace = trace
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.spans = spans if spans is not None else NULL_TRACER
+        self._m_notifications = self.metrics.counter(
+            "frames_revocation_notifications_total",
+            help="intrusive revocation requests sent, by victim domain")
+        self._m_kills = self.metrics.counter(
+            "frames_kills_total",
+            help="domains killed for violating the revocation protocol")
         self.revocation_timeout = revocation_timeout
         self.system_reserve = system_reserve
         self.clients = []
@@ -210,6 +243,8 @@ class FramesAllocator:
         self.ramtab.set_owner(pfn, client.domain)
         client.stack.push(pfn)
         client.allocated += 1
+        client._c_grants.inc()
+        client._g_allocated.set(client.allocated)
         self._record("grant", client, pfn=pfn,
                      optimistic=client.allocated > client.guaranteed)
 
@@ -238,6 +273,8 @@ class FramesAllocator:
         self.ramtab.clear_owner(pfn)
         self.physmem.release(pfn)
         client.allocated -= 1
+        client._c_frees.inc()
+        client._g_allocated.set(client.allocated)
         self._record("free", client, pfn=pfn)
 
     # -- synchronous path ---------------------------------------------------------
@@ -253,6 +290,7 @@ class FramesAllocator:
                         client.stack.remove(got)
                         self.physmem.release(got)
                         client.allocated -= 1
+                    client._g_allocated.set(client.allocated)
                     raise FramesError("PFN %d unavailable" % pfn)
                 self._grant(client, frame)
                 granted.append(frame)
@@ -351,7 +389,7 @@ class FramesAllocator:
                 best = candidate
         return best
 
-    def _reclaim_top(self, victim, k):
+    def _reclaim_top(self, victim, k, kind="transparent"):
         """Reclaim up to ``k`` unused frames from the top of the stack."""
         reclaimed = 0
         while reclaimed < k and victim.optimistic > 0:
@@ -364,7 +402,16 @@ class FramesAllocator:
             self.physmem.release(pfn)
             victim.allocated -= 1
             reclaimed += 1
-            self._record("revoke", victim, pfn=pfn, transparent=True)
+            self._record("revoke", victim, pfn=pfn,
+                         transparent=kind == "transparent")
+        if reclaimed:
+            if kind == "transparent":
+                victim._c_revoked_transparent.inc(reclaimed)
+            else:
+                victim._m_revoked.inc(
+                    reclaimed, domain=victim.domain.name
+                    if victim.domain else "?", kind=kind)
+            victim._g_allocated.set(victim.allocated)
         return reclaimed
 
     def _revoke_transparent(self, k, exclude=None):
@@ -416,6 +463,10 @@ class FramesAllocator:
         deadline = self.sim.now + self.revocation_timeout
         request = RevocationRequest(k=ask, deadline=deadline)
         victim._reply_event = self.sim.event("revocation.reply")
+        victim_name = victim.domain.name if victim.domain else "?"
+        self._m_notifications.inc(domain=victim_name)
+        span = self.spans.start("revocation.intrusive", client=victim_name,
+                                k=ask)
         self._record("revoke_notify", victim, k=ask, deadline=deadline)
         victim.revocation_channel.send(request)
         timer = self.sim.timeout(self.revocation_timeout)
@@ -423,18 +474,22 @@ class FramesAllocator:
         replied = victim._reply_event.triggered
         victim._reply_event = None
         if replied:
-            reclaimed = self._reclaim_top(victim, ask)
+            reclaimed = self._reclaim_top(victim, ask, kind="intrusive")
             if reclaimed >= ask:
+                span.end(reclaimed=reclaimed, killed=False)
                 return got + reclaimed
             # Replied but did not deliver: protocol violation -> kill.
             got += reclaimed
         got += self._kill(victim)
+        span.end(killed=True)
         return got
 
     def _kill(self, victim):
         """Deadline missed (or protocol violated): kill and reclaim all."""
         self._record("kill", victim)
         victim.killed = True
+        victim_name = victim.domain.name if victim.domain else "?"
+        self._m_kills.inc(domain=victim_name)
         if victim.domain is not None:
             victim.domain.kill("revocation deadline missed")
         freed = 0
@@ -443,6 +498,10 @@ class FramesAllocator:
             self.ramtab.clear_owner(pfn)
             self.physmem.release(pfn)
             freed += 1
+        if freed:
+            victim._m_revoked.inc(freed, domain=victim_name, kind="kill")
         victim.allocated = 0
-        victim.stack = FrameStack()
+        victim._g_allocated.set(0)
+        victim.stack = FrameStack(depth_gauge=victim._stack_gauge)
+        victim._stack_gauge.set(0)
         return freed

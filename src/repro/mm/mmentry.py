@@ -46,6 +46,29 @@ class MMEntry:
         self.slow_resolved = 0
         self.failures = 0
         self.revocations_handled = 0
+        metrics = domain.kernel.metrics
+        self.spans = domain.kernel.spans
+        faults = metrics.counter(
+            "mm_faults_resolved_total",
+            help="faults resolved, by domain and path (fast/slow)")
+        self._c_fast = faults.child(domain=domain.name, path="fast")
+        self._c_slow = faults.child(domain=domain.name, path="slow")
+        self._c_failures = metrics.counter(
+            "mm_fault_failures_total",
+            help="unresolvable faults (the faulting thread is killed)"
+        ).child(domain=domain.name)
+        self._c_revocations = metrics.counter(
+            "mm_revocations_handled_total",
+            help="intrusive revocation notifications serviced"
+        ).child(domain=domain.name)
+        self._g_queue = metrics.gauge(
+            "mm_work_queue_depth",
+            help="faults/revocations queued for MMEntry workers"
+        ).child(domain=domain.name)
+        self._h_latency = metrics.histogram(
+            "mm_fault_latency_ns",
+            help="fault-taken to thread-resumed latency"
+        ).child(domain=domain.name)
         self._fault_overrides = {}     # FaultCode -> handler(fault) -> FaultOutcome
         # Wire up the endpoints.
         domain.fault_channel.handler = self._fault_notification
@@ -90,6 +113,17 @@ class MMEntry:
         """
         self._fault_overrides[code] = handler
 
+    def _resolved_fast(self, fault):
+        self.fast_resolved += 1
+        self._c_fast.inc()
+        self._h_latency.observe(self.sim.now - fault.time)
+        self.domain.resume_thread(fault.thread)
+
+    def _failed(self, fault, reason):
+        self.failures += 1
+        self._c_failures.inc()
+        fault.thread.kill("%s %s" % (reason, fault))
+
     def _fault_notification(self, fault):
         """Handle a fault event: fast path, else queue for a worker."""
         self.meter.charge("notify_handler")
@@ -98,33 +132,28 @@ class MMEntry:
             self.meter.charge("fault_decode")
             outcome = override(fault)
             if outcome is FaultOutcome.SUCCESS:
-                self.fast_resolved += 1
-                self.domain.resume_thread(fault.thread)
+                self._resolved_fast(fault)
             elif outcome is FaultOutcome.RETRY:
                 self.meter.charge("thread_block")
                 self._enqueue(("fault", fault,
                                self.driver_for_va(fault.va)))
             else:
-                self.failures += 1
-                fault.thread.kill("custom handler failed %s" % fault)
+                self._failed(fault, "custom handler failed")
             return
         driver = self.driver_for_va(fault.va)
         if driver is None or fault.code is FaultCode.UNALLOCATED:
             # No stretch driver responsible: there is no safety net.
-            self.failures += 1
-            fault.thread.kill("unhandled %s" % fault)
+            self._failed(fault, "unhandled")
             return
         self.meter.charge("sdriver_fast")
         outcome = driver.try_fast(fault)
         if outcome is FaultOutcome.SUCCESS:
-            self.fast_resolved += 1
-            self.domain.resume_thread(fault.thread)
+            self._resolved_fast(fault)
         elif outcome is FaultOutcome.RETRY:
             self.meter.charge("thread_block")
             self._enqueue(("fault", fault, driver))
         else:
-            self.failures += 1
-            fault.thread.kill("stretch driver failed %s" % fault)
+            self._failed(fault, "stretch driver failed")
 
     def _revocation_notification(self, request):
         """Queue a revocation request for a worker (IDC is needed)."""
@@ -134,6 +163,7 @@ class MMEntry:
 
     def _enqueue(self, work):
         self._work.append(work)
+        self._g_queue.set(len(self._work))
         if self._work_event is not None and not self._work_event.triggered:
             self._work_event.trigger(None)
 
@@ -143,16 +173,22 @@ class MMEntry:
         while True:
             while self._work:
                 kind, payload, driver = self._work.popleft()
+                self._g_queue.set(len(self._work))
                 yield Compute(self.meter.model["thread_switch"],
                               label="mmentry-dispatch")
                 if kind == "fault":
+                    span = self.spans.start("fault.slow",
+                                            client=self.domain.name,
+                                            va=payload.va)
                     ok = yield from driver.handle_slow(payload)
+                    span.end(ok=ok)
                     if ok:
                         self.slow_resolved += 1
+                        self._c_slow.inc()
+                        self._h_latency.observe(self.sim.now - payload.time)
                         self.domain.resume_thread(payload.thread)
                     else:
-                        self.failures += 1
-                        payload.thread.kill("slow path failed: %s" % payload)
+                        self._failed(payload, "slow path failed:")
                 else:
                     yield from self._handle_revocation(payload)
             self._work_event = self.sim.event("mmentry.work")
@@ -161,12 +197,16 @@ class MMEntry:
     def _handle_revocation(self, request):
         """Cycle drivers until ``k`` frames are arranged, then reply."""
         self.revocations_handled += 1
+        self._c_revocations.inc()
+        span = self.spans.start("revocation.handle",
+                                client=self.domain.name, k=request.k)
         remaining = request.k
         for driver in self.drivers:
             if remaining <= 0:
                 break
             arranged = yield from driver.release_frames(remaining)
             remaining -= arranged
+        span.end(shortfall=max(remaining, 0))
         # Reply regardless; the allocator verifies the top of the stack
         # and kills us if we came up short (no safety net, §6.2).
         self.frames.revocation_ready()

@@ -1,0 +1,32 @@
+"""repro.obs — the observability layer: metrics and span tracing.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with labelled
+  counters, gauges and fixed-bucket histograms; snapshot/diff for
+  accountability assertions in tests.
+* :mod:`repro.obs.spans` — enter/exit span tracing with simulated
+  timestamps, unified with :class:`~repro.sim.trace.Trace`.
+
+Every subsystem accepts an optional registry/tracer and defaults to the
+shared null instances, so standalone construction (unit tests, scripts)
+pays nothing; :class:`~repro.system.NemesisSystem` wires live instances
+through the whole machine.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_NS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "LATENCY_BUCKETS_NS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+]

@@ -37,6 +37,7 @@ lines) and ``alloc`` events (the small arrows at period boundaries).
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.units import fmt_time
 
 
@@ -114,6 +115,32 @@ class AtroposClient:
         self.lax_ns = 0
         self.slack_items = 0
         self.slack_ns = 0
+        # Bound metrics children (null instruments when the scheduler
+        # has no live registry). Labels: the scheduler ("sched") and
+        # this client.
+        metrics = scheduler.metrics
+        labels = {"sched": scheduler.name, "client": name}
+        self._c_served_ns = metrics.counter(
+            "sched_served_ns_total",
+            help="guaranteed service time consumed").child(**labels)
+        self._c_lax_ns = metrics.counter(
+            "sched_lax_ns_total", help="lax time charged").child(**labels)
+        self._c_slack_ns = metrics.counter(
+            "sched_slack_ns_total",
+            help="uncharged slack-time service received").child(**labels)
+        self._c_items = metrics.counter(
+            "sched_items_total",
+            help="work items completed (charged + slack)").child(**labels)
+        self._c_debit_ns = metrics.counter(
+            "sched_rollover_debit_ns_total",
+            help="overrun time carried into later periods").child(**labels)
+        self._g_max_debit = metrics.gauge(
+            "sched_rollover_max_debit_ns",
+            help="largest single-period carried debit seen").child(**labels)
+        self._g_queue = metrics.gauge(
+            "sched_queue_depth", help="work items queued").child(**labels)
+        self._h_txn = metrics.histogram(
+            "sched_txn_ns", help="work-item service durations").child(**labels)
 
     # -- client-facing API -------------------------------------------------
 
@@ -125,6 +152,7 @@ class AtroposClient:
         item = WorkItem(serve, done, label=label)
         item.submitted_at = self.scheduler.sim.now
         self.queue.append(item)
+        self._g_queue.set(len(self.queue))
         # Work arrived: the current workless stretch ends, so the lax
         # allowance refreshes — but a client already marked idle (lax
         # exhausted) stays ignored "until its next periodic allocation"
@@ -167,7 +195,7 @@ class AtroposScheduler:
     """The scheduling loop. One instance per scheduled resource."""
 
     def __init__(self, sim, name="atropos", trace=None, rollover=True,
-                 slack_enabled=True, strict_idle=True):
+                 slack_enabled=True, strict_idle=True, metrics=None):
         """``strict_idle=True`` is the paper's behaviour: a client whose
         laxity expires is ignored "until its next periodic allocation"
         even if work arrives in between. ``strict_idle=False`` is an
@@ -178,6 +206,7 @@ class AtroposScheduler:
         self.sim = sim
         self.name = name
         self.trace = trace
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.rollover = rollover
         self.slack_enabled = slack_enabled
         self.strict_idle = strict_idle
@@ -241,6 +270,9 @@ class AtroposScheduler:
                 yield self.sim.timeout(delay)
                 continue
             carry = client.remaining if (self.rollover and client.remaining < 0) else 0
+            if carry < 0:
+                client._c_debit_ns.inc(-carry)
+                client._g_max_debit.set_max(-carry)
             client.remaining = client.qos.slice_ns + carry
             client.deadline += client.qos.period_ns
             client.lax_used = 0
@@ -281,15 +313,19 @@ class AtroposScheduler:
             item.done.fail(exc)
             return
         duration = self.sim.now - start
+        client._h_txn.observe(duration)
+        client._c_items.inc()
         if charged:
             client.remaining -= duration
             client.served_items += 1
             client.served_ns += duration
+            client._c_served_ns.inc(duration)
             self._record("txn", client, duration=duration, label=item.label,
                          remaining=client.remaining)
         else:
             client.slack_items += 1
             client.slack_ns += duration
+            client._c_slack_ns.inc(duration)
             self._record("slack", client, duration=duration, label=item.label)
         item.done.trigger(value)
 
@@ -301,12 +337,14 @@ class AtroposScheduler:
                 slack_client = self._pick_slack()
                 if slack_client is not None:
                     item = slack_client.queue.popleft()
+                    slack_client._g_queue.set(len(slack_client.queue))
                     yield from self._serve(slack_client, item, charged=False)
                     continue
                 yield self._wait_kick()
                 continue
             if client.queue:
                 item = client.queue.popleft()
+                client._g_queue.set(len(client.queue))
                 yield from self._serve(client, item, charged=True)
                 continue
             # Simulation-artifact guard: a completion callback may be
@@ -334,6 +372,7 @@ class AtroposScheduler:
                 client.remaining -= waited
                 client.lax_used += waited
                 client.lax_ns += waited
+                client._c_lax_ns.inc(waited)
                 self._record("lax", client, duration=waited)
             if not client.queue and client.lax_used >= client.qos.laxity_ns:
                 client.lax_exhausted = True

@@ -22,6 +22,7 @@ revocation protocol), failure propagation, and AllOf/AnyOf combinators.
 
 import heapq
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.units import fmt_time
 
 _PENDING = object()
@@ -207,7 +208,7 @@ class Process(SimEvent):
     :meth:`Simulator.run` — silent process death hides bugs.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "alive", "_defunct_ok")
+    __slots__ = ("_gen", "_waiting_on", "_wait_since", "alive", "_defunct_ok")
 
     def __init__(self, sim, gen, name=""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
@@ -215,6 +216,7 @@ class Process(SimEvent):
             raise TypeError("Process requires a generator, got %r" % (gen,))
         self._gen = gen
         self._waiting_on = None
+        self._wait_since = 0
         self.alive = True
         self._defunct_ok = False
         sim._schedule(0, lambda: self._resume(None, None))
@@ -234,6 +236,7 @@ class Process(SimEvent):
         if self._waiting_on is not event:
             return  # stale wakeup after an interrupt
         self._waiting_on = None
+        self.sim._h_wake.observe(self.sim.now - self._wait_since)
         if event.ok:
             self._resume(event._value, None)
         else:
@@ -275,6 +278,7 @@ class Process(SimEvent):
                 "instances (use sim.timeout() to sleep)" % (self.name, target)
             )
         self._waiting_on = target
+        self._wait_since = self.sim.now
         target.add_callback(self._on_event)
 
 
@@ -285,11 +289,22 @@ class Simulator:
     given deterministic process code.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._now = 0
         self._heap = []
         self._seq = 0
         self._process_count = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_dispatched = self.metrics.counter(
+            "sim_events_dispatched_total",
+            help="heap entries executed (callbacks + process resumptions)"
+        ).child()
+        self._c_spawned = self.metrics.counter(
+            "sim_processes_spawned_total").child()
+        self._h_wake = self.metrics.histogram(
+            "sim_process_wait_ns",
+            help="simulated time a process spent waiting on the event it "
+                 "yielded, measured at wakeup").child()
 
     @property
     def now(self):
@@ -329,6 +344,7 @@ class Simulator:
     def spawn(self, gen, name=""):
         """Start a new process from generator ``gen``; returns it."""
         self._process_count += 1
+        self._c_spawned.inc()
         return Process(self, gen, name=name or "process-%d" % self._process_count)
 
     def run(self, until=None):
@@ -344,6 +360,7 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             self._now = when
+            self._c_dispatched.inc()
             fn()
         if until is not None and self._now < until:
             self._now = until
@@ -366,5 +383,6 @@ class Simulator:
                     % (fmt_time(limit), event)
                 )
             self._now = when
+            self._c_dispatched.inc()
             fn()
         return event.value

@@ -39,6 +39,8 @@ from repro.mm.protdom import ProtectionDomain
 from repro.mm.ramtab import RamTab
 from repro.mm.stretch_allocator import StretchAllocator
 from repro.mm.translation import TranslationSystem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.sim.core import Simulator
 from repro.sim.trace import Trace
 from repro.sim.units import MS
@@ -211,8 +213,13 @@ class NemesisSystem:
                  rollover=True, slack_enabled=True, usd_trace=True,
                  system_reserve_frames=16, revocation_timeout=100 * MS,
                  swap_partition=(262144, 2_097_152),
-                 fs_partition=(3_500_000, 786_432)):
-        self.sim = Simulator()
+                 fs_partition=(3_500_000, 786_432), metrics=True):
+        # Observability first: every subsystem below takes the registry.
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.sim = Simulator(metrics=self.metrics)
+        self.span_trace = Trace("spans")
+        self.spans = SpanTracer(self.sim, trace=self.span_trace,
+                                metrics=self.metrics)
         self.machine = machine
         self.meter = CostMeter(cost_model or CostModel())
         # Hardware.
@@ -227,7 +234,8 @@ class NemesisSystem:
             raise ValueError("cpu must be one of %s" % list(_CPUS))
         self.cpu = _CPUS[cpu](self.sim)
         self.kernel = Kernel(self.sim, machine, self.mmu, self.meter,
-                             self.cpu)
+                             self.cpu, metrics=self.metrics,
+                             spans=self.spans)
         # System-domain services.
         self.ramtab = RamTab(self.physmem.total_frames,
                              machine.page_shift)
@@ -239,13 +247,15 @@ class NemesisSystem:
         self.frames_allocator = FramesAllocator(
             self.sim, self.physmem, self.ramtab, self.translation,
             trace=self.frames_trace, revocation_timeout=revocation_timeout,
-            system_reserve=system_reserve_frames)
+            system_reserve=system_reserve_frames, metrics=self.metrics,
+            spans=self.spans)
         # Backing store: the USD, or the FCFS baseline for the
         # crosstalk ablations (same admit/submit interface).
         self.usd_trace = Trace("usd") if usd_trace else None
         if backing == "usd":
             self.usd = USD(self.sim, self.disk, trace=self.usd_trace,
-                           rollover=rollover, slack_enabled=slack_enabled)
+                           rollover=rollover, slack_enabled=slack_enabled,
+                           metrics=self.metrics)
         elif backing == "fcfs":
             from repro.baseline.fcfs_disk import FcfsDiskService
 
@@ -289,3 +299,9 @@ class NemesisSystem:
     @property
     def now(self):
         return self.sim.now
+
+    # -- observability ----------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """Capture every metric series at the current instant."""
+        return self.metrics.snapshot()

@@ -16,6 +16,7 @@ over the client's subsequent run of transactions.
 """
 
 from repro.hw.disk import DiskRequest
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sched.atropos import AtroposScheduler
 
 
@@ -28,6 +29,12 @@ class USDClient:
         self._sched_client = sched_client
         self.transactions = 0
         self.blocks_moved = 0
+        self._c_txns = usd.metrics.counter(
+            "usd_transactions_total",
+            help="disk transactions submitted, by stream").child(client=name)
+        self._c_blocks = usd.metrics.counter(
+            "usd_blocks_total",
+            help="disk blocks requested, by stream").child(client=name)
 
     @property
     def qos(self):
@@ -41,6 +48,8 @@ class USDClient:
                                   tag=request.tag)
         self.transactions += 1
         self.blocks_moved += request.nblocks
+        self._c_txns.inc()
+        self._c_blocks.inc(request.nblocks)
 
         def serve(req=request):
             result = yield from self.usd.disk.transaction(req)
@@ -70,13 +79,15 @@ class USD:
     """The user-safe disk: admission + the Atropos-scheduled drive."""
 
     def __init__(self, sim, disk, trace=None, rollover=True,
-                 slack_enabled=True):
+                 slack_enabled=True, metrics=None):
         self.sim = sim
         self.disk = disk
         self.trace = trace
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.sched = AtroposScheduler(sim, name="usd", trace=trace,
                                       rollover=rollover,
-                                      slack_enabled=slack_enabled)
+                                      slack_enabled=slack_enabled,
+                                      metrics=self.metrics)
         self.clients = []
 
     def admit(self, name, qos):

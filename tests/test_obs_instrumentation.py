@@ -1,0 +1,191 @@
+"""End-to-end instrumentation tests: the accountability invariant.
+
+A two-domain paging workload — one domain pages hard, the other is
+admitted with identical contracts but never touches memory — must show
+every fault, USD transaction and frame grant attributed to the active
+domain and *zero* attributed to the idle one (Hand, OSDI '99 §3, §5:
+no QoS crosstalk)."""
+
+import pytest
+
+from repro.hw.mmu import AccessKind
+from repro.kernel.threads import Touch
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=250 * MS, slice_ns=100 * MS, laxity_ns=10 * MS)
+
+
+@pytest.fixture(scope="module")
+def paged_pair():
+    """One active paging domain + one idle domain, run for 5 s."""
+    system = NemesisSystem()
+    active = system.new_app("active", guaranteed_frames=4)
+    stretch = active.new_stretch(48 * system.machine.page_size)
+    active.bind(stretch, active.paged_driver(frames=2, swap_bytes=2 * MB,
+                                             qos=QOS))
+    idle = system.new_app("idle", guaranteed_frames=4)
+    idle_stretch = idle.new_stretch(48 * system.machine.page_size)
+    idle.bind(idle_stretch, idle.paged_driver(frames=2, swap_bytes=2 * MB,
+                                              qos=QOS))
+    baseline = system.metrics.snapshot()
+
+    def body():
+        while True:
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+    active.spawn(body())
+    system.run_for(5 * SEC)
+    return system, baseline, system.metrics.snapshot()
+
+
+class TestAccountabilityInvariant:
+    def test_active_domain_faults_counted(self, paged_pair):
+        _system, _before, snap = paged_pair
+        fast = snap.get("mm_faults_resolved_total", domain="active",
+                        path="fast")
+        slow = snap.get("mm_faults_resolved_total", domain="active",
+                        path="slow")
+        assert fast + slow > 0
+        # A 2-frame pool against 48 pages: almost everything needs IO.
+        assert slow > fast
+
+    def test_idle_domain_has_zero_faults(self, paged_pair):
+        _system, _before, snap = paged_pair
+        for path in ("fast", "slow"):
+            assert snap.get("mm_faults_resolved_total", domain="idle",
+                            path=path) == 0
+        assert snap.get("kernel_faults_dispatched_total", domain="idle") == 0
+        assert snap.get("mm_fault_failures_total", domain="idle") == 0
+
+    def test_usd_transactions_attributed_per_stream(self, paged_pair):
+        _system, _before, snap = paged_pair
+        assert snap.get("usd_transactions_total", client="active-paged") > 0
+        assert snap.get("usd_transactions_total", client="idle-paged") == 0
+        assert snap.get("usd_blocks_total", client="idle-paged") == 0
+        assert snap.get("sched_served_ns_total", sched="usd",
+                        client="idle-paged") == 0
+
+    def test_no_unattributed_fault_series(self, paged_pair):
+        """Every fault series carries a domain label — nothing is
+        accounted to an anonymous principal."""
+        _system, _before, snap = paged_pair
+        for labels in snap.labels("mm_faults_resolved_total"):
+            assert labels["domain"] in ("active", "idle")
+        for labels in snap.labels("usd_transactions_total"):
+            assert labels["client"] in ("active-paged", "idle-paged")
+
+    def test_dispatched_matches_resolutions(self, paged_pair):
+        """Kernel dispatches == MMEntry outcomes (resolved + failed),
+        modulo faults still in flight at the end of the run."""
+        _system, _before, snap = paged_pair
+        dispatched = snap.get("kernel_faults_dispatched_total",
+                              domain="active")
+        resolved = (snap.get("mm_faults_resolved_total", domain="active",
+                             path="fast")
+                    + snap.get("mm_faults_resolved_total", domain="active",
+                               path="slow")
+                    + snap.get("mm_fault_failures_total", domain="active"))
+        assert resolved <= dispatched <= resolved + 1
+        assert snap.get("mm_fault_failures_total", domain="active") == 0
+
+    def test_diff_isolates_the_workload_cost(self, paged_pair):
+        """snapshot/diff asserts the workload's *own* cost: the delta
+        since admission shows activity for 'active' and zero for
+        'idle'."""
+        _system, before, snap = paged_pair
+        delta = snap.diff(before)
+        assert delta.get("usd_transactions_total", client="active-paged") > 0
+        assert delta.get("usd_transactions_total", client="idle-paged") == 0
+        fast = delta.get("mm_faults_resolved_total", domain="active",
+                         path="fast")
+        slow = delta.get("mm_faults_resolved_total", domain="active",
+                         path="slow")
+        assert fast + slow > 0
+        # Both pools were filled before the baseline snapshot, so the
+        # steady-state delta shows no further frame traffic at all.
+        assert delta.get("frames_grants_total", domain="active") == 0
+        assert delta.get("frames_grants_total", domain="idle") == 0
+
+    def test_frame_gauges_track_pool_sizes(self, paged_pair):
+        _system, _before, snap = paged_pair
+        assert snap.get("frames_allocated", domain="active") == 2
+        assert snap.get("frames_stack_depth", domain="active") == 2
+        assert snap.get("frames_allocated", domain="idle") == 2
+
+    def test_fault_latency_histogram_populated(self, paged_pair):
+        _system, _before, snap = paged_pair
+        cell = snap.get("mm_fault_latency_ns", domain="active")
+        assert cell["count"] > 0
+        assert cell["sum"] > 0
+        assert snap.get("mm_fault_latency_ns", domain="idle")["count"] == 0
+
+    def test_sim_core_metrics_populated(self, paged_pair):
+        _system, _before, snap = paged_pair
+        assert snap.get("sim_events_dispatched_total") > 0
+        assert snap.get("sim_processes_spawned_total") > 0
+        assert snap.get("sim_process_wait_ns")["count"] > 0
+
+    def test_slow_fault_spans_attributed_to_active_only(self, paged_pair):
+        system, _before, _snap = paged_pair
+        spans = system.span_trace.filter(kind="span")
+        assert spans, "slow faults must produce spans"
+        assert {event.client for event in spans} == {"active"}
+        assert {event.info["name"] for event in spans} == {"fault.slow"}
+        # Span durations equal the trace-recorded durations and feed the
+        # span_ns histogram under the same (name, client) labels.
+        cell = system.metrics.snapshot().get("span_ns", name="fault.slow",
+                                             client="active")
+        assert cell["count"] == len(spans)
+        assert cell["sum"] == sum(event.duration for event in spans)
+
+
+class TestRevocationMetrics:
+    def test_transparent_revocation_counted_per_victim(self):
+        """Contention forces revocation of the hog's optimistic frames;
+        the metrics name the victim."""
+        from repro.hw.platform import Machine
+
+        system = NemesisSystem(machine=Machine(name="small",
+                                               phys_mem_bytes=16 * MB),
+                               system_reserve_frames=4)
+        total = system.physmem.region("main").frames
+        hog = system.new_app("hog", guaranteed_frames=4,
+                             extra_frames=total)
+        # Best-effort optimistic allocation drains the whole free pool;
+        # the frames stay unused, i.e. transparently revocable.
+        hog.frames.alloc_now(total)
+        victim_grants = system.metrics.snapshot().get("frames_grants_total",
+                                                      domain="hog")
+        assert victim_grants > 0
+        newcomer = system.new_app("newcomer", guaranteed_frames=8)
+        newcomer.frames.alloc_now(8)
+        snap = system.metrics.snapshot()
+        assert snap.get("frames_revoked_total", domain="hog",
+                        kind="transparent") > 0
+        assert snap.get("frames_revoked_total", domain="newcomer",
+                        kind="transparent") == 0
+        assert snap.get("frames_grants_total", domain="newcomer") == 8
+        assert snap.get("frames_allocated", domain="hog") == \
+            hog.frames.allocated
+
+
+class TestDisabledSystemMetrics:
+    def test_system_runs_unmetered(self):
+        system = NemesisSystem(metrics=False)
+        app = system.new_app("a", guaranteed_frames=4)
+        stretch = app.new_stretch(8 * system.machine.page_size)
+        app.bind(stretch, app.paged_driver(frames=2, swap_bytes=1 * MB,
+                                           qos=QOS))
+
+        def body():
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.WRITE)
+
+        thread = app.spawn(body())
+        system.sim.run_until_triggered(thread.done, limit=60 * SEC)
+        assert app.mmentry.fast_resolved + app.mmentry.slow_resolved > 0
+        assert system.metrics.snapshot().names() == []

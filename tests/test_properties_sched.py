@@ -5,6 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sched.atropos import AtroposScheduler, QoSSpec
 from repro.sim.core import Simulator
 from repro.sim.trace import Trace
@@ -66,6 +67,47 @@ class TestSchedulerProperties:
         sim.run(until=3 * SEC)
         for index in range(len(specs)):
             assert counts.get("c%d" % index, 0) > 0
+
+    @given(st.lists(qos_strategy(), min_size=1, max_size=3),
+           st.integers(0, 100))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_rollover_debit_bounded_by_one_slice(self, specs, frac):
+        """Roll-over accounting (§6.7): an overrun "will count against
+        its next allocation" — but never against more than one. A client
+        only starts an item while ``remaining > 0``, so the carried
+        debit is strictly less than the longest single item. With every
+        item no longer than the smallest admitted slice, the per-period
+        debit can therefore never exceed one period's allocation.
+
+        The assertion is fed entirely from the per-client metrics the
+        scheduler now exports, not from scheduler internals."""
+        sim = Simulator()
+        metrics = MetricsRegistry()
+        sched = AtroposScheduler(sim, metrics=metrics)
+        min_slice = min(qos.slice_ns for qos in specs)
+        # Non-preemptible item length in (0, min_slice]: long enough to
+        # overrun routinely, never longer than any client's slice.
+        item_ns = max(1, min_slice * (frac + 1) // 101)
+        for index, qos in enumerate(specs):
+            client = sched.admit("c%d" % index, qos)
+
+            def loop(client=client):
+                while True:
+                    yield client.submit(
+                        lambda: (yield sim.timeout(item_ns)))
+
+            sim.spawn(loop())
+        sim.run(until=3 * SEC)
+        snap = metrics.snapshot()
+        for index, qos in enumerate(specs):
+            labels = {"sched": "atropos", "client": "c%d" % index}
+            max_debit = snap.get("sched_rollover_max_debit_ns", **labels)
+            assert 0 <= max_debit <= qos.slice_ns
+            # Debits only exist at all if the client actually served
+            # work; an idle client accumulates none.
+            if snap.get("sched_rollover_debit_ns_total", **labels) > 0:
+                assert snap.get("sched_items_total", **labels) > 0
 
     @given(st.lists(st.floats(0.02, 0.4), min_size=1, max_size=6))
     @settings(max_examples=30, deadline=None)
