@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs report lint
+.PHONY: verify test obs chaos report lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -14,6 +14,12 @@ obs:
 	    tests/test_obs_instrumentation.py \
 	    tests/test_properties_sched.py \
 	    tests/test_sim_trace_units.py
+
+# Fault-storm scenario: the chaos experiment plus the chaos-marked
+# acceptance tests (deselected from the default pytest run).
+chaos:
+	$(PYTHON) -m repro.exp chaos
+	$(PYTHON) -m pytest -q -m chaos
 
 # Accountability workload + JSON metrics snapshot (results/metrics.json).
 report:

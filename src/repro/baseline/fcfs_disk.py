@@ -10,6 +10,8 @@ arrival pattern gives it — which is the crosstalk the paper eliminates.
 from collections import deque
 
 from repro.hw.disk import DiskRequest
+from repro.sched.atropos import ClientDepartedError, PendingWorkError
+from repro.usd.usd import TransactionFailed
 
 
 class FcfsClient:
@@ -59,7 +61,19 @@ class FcfsDiskService:
         self.clients.append(client)
         return client
 
-    def depart(self, client):
+    def depart(self, client, discard=False):
+        pending = [entry for entry in self._queue
+                   if entry[0].client == client.name]
+        if pending and not discard:
+            raise PendingWorkError(
+                "client %s departed with %d transaction(s) queued; "
+                "drain first or depart(discard=True)"
+                % (client.name, len(pending)))
+        for entry in pending:
+            self._queue.remove(entry)
+            entry[1].fail(ClientDepartedError(
+                "client %s departed; queued %s discarded"
+                % (client.name, entry[0].kind)))
         self.clients.remove(client)
 
     def _submit(self, request):
@@ -88,4 +102,9 @@ class FcfsDiskService:
                 self.trace.record(start, "txn", request.client,
                                   duration=self.sim.now - start,
                                   label=request.kind)
-            done.trigger(result)
+            if result.ok:
+                done.trigger(result)
+            else:
+                # No retry machinery here — the baseline surfaces the
+                # error raw, exactly as it surfaces raw queueing delay.
+                done.fail(TransactionFailed(result, 1, request.client))

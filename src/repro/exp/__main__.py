@@ -13,7 +13,8 @@ a JSON metrics snapshot next to the figure outputs (see
 import sys
 import time
 
-from repro.exp import ablations, fig7, fig8, fig9, metrics_report, microbench
+from repro.exp import (ablations, chaos, fig7, fig8, fig9, metrics_report,
+                       microbench)
 
 
 def _banner(title):
@@ -48,12 +49,18 @@ def run_ablations():
     ablations.main()
 
 
+def run_chaos():
+    _banner("Chaos — fault storm on the Figure-9 workload")
+    chaos.main()
+
+
 RUNNERS = {
     "table1": run_table1,
     "fig7": run_fig7,
     "fig8": run_fig8,
     "fig9": run_fig9,
     "ablations": run_ablations,
+    "chaos": run_chaos,
 }
 
 

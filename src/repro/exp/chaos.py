@@ -1,0 +1,166 @@
+"""Chaos: the Figure-9 workload under a deterministic fault storm.
+
+Figure 9 shows that a heavily paging application cannot steal disk
+bandwidth from a file-system client. This scenario asks the harder
+question: can a heavily paging application *whose disk is failing*?
+The storm scopes a transient-error rate (>= 10%) plus a bad block to
+one pager's swap extent. Every retry, backoff and remap that recovery
+costs is charged to that pager, so the verdict mirrors Figure 9's:
+
+* the file-system client and the other pager stay within tolerance
+  (default 5%) of their fault-free bandwidth;
+* the whole storm is reproducible byte-for-byte given the same seed —
+  the run is re-executed and the two result payloads compared.
+
+Run it with ``python -m repro.exp chaos`` or ``make chaos``.
+"""
+
+import json
+from dataclasses import dataclass
+
+from repro.apps.fsclient import FileSystemClient
+from repro.apps.pager_app import PagingApplication
+from repro.exp import report
+from repro.exp.fig9 import Fig9Config
+from repro.faults import BAD_BLOCK, TRANSIENT, FaultPlan, FaultRule
+from repro.sim.units import SEC
+from repro.system import NemesisSystem
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    fig9: Fig9Config = Fig9Config(settle_sec=3.0, measure_sec=10.0)
+    seed: int = 42
+    transient_rate: float = 0.15    # the scenario's floor is 10%
+    bad_blocks: int = 1
+    tolerance: float = 0.05
+
+
+@dataclass
+class ChaosResult:
+    config: ChaosConfig
+    baseline: dict      # domain -> Mbit/s, fault-free run
+    storm: dict         # domain -> Mbit/s, under the storm
+    stats: dict         # recovery counters from the storm run
+    victim: str
+    reproducible: bool
+
+    def retention(self, name):
+        if not self.baseline[name]:
+            return 0.0
+        return self.storm[name] / self.baseline[name]
+
+    @property
+    def bystanders(self):
+        return [name for name in self.baseline if name != self.victim]
+
+    @property
+    def isolated(self):
+        """Both non-faulty domains within tolerance of fault-free."""
+        return all(abs(self.retention(name) - 1.0) <= self.config.tolerance
+                   for name in self.bystanders)
+
+    @property
+    def passed(self):
+        return self.isolated and self.reproducible
+
+
+def _storm_plan(config, extent):
+    rules = [FaultRule(kind=TRANSIENT, rate=config.transient_rate,
+                       lba_start=extent.start, lba_end=extent.end)]
+    if config.bad_blocks:
+        rules.append(FaultRule(kind=BAD_BLOCK, blocks=tuple(
+            extent.start + index for index in range(config.bad_blocks))))
+    return FaultPlan(seed=config.seed, rules=tuple(rules))
+
+
+def _run_once(config, storm):
+    """One fresh system: fsclient at 50% plus pagers at 20% and 10%.
+
+    With ``storm=True`` the fault plan lands on the 10% pager's swap
+    extent before any simulated time passes. Returns a JSON-able dict
+    so reproducibility can be checked by comparing serialisations.
+    """
+    fig9 = config.fig9
+    system = NemesisSystem(backing=fig9.backing)
+    fs = FileSystemClient(system, "fsclient", fig9.fs_qos(),
+                          depth=fig9.fs_depth)
+    pagers = []
+    for slice_ms in fig9.pager_slices_ms:
+        share = 100 * slice_ms // fig9.period_ms
+        pagers.append(PagingApplication(
+            system, "pager-%d%%" % share, fig9.pager_qos(slice_ms),
+            mode="write-loop", stretch_bytes=fig9.stretch_bytes,
+            driver_frames=fig9.driver_frames, swap_bytes=fig9.swap_bytes))
+    victim = pagers[-1]     # the smallest guarantee hosts the storm
+    if storm:
+        system.install_fault_plan(
+            _storm_plan(config, victim.driver.swap.extent))
+    system.run_for(int(fig9.settle_sec * SEC))
+    start = {"fsclient": fs.bytes_read}
+    start.update({p.name: p.bytes_processed for p in pagers})
+    system.run_for(int(fig9.measure_sec * SEC))
+
+    def mbit(delta):
+        return delta * 8 / 1e6 / fig9.measure_sec
+
+    mbits = {"fsclient": mbit(fs.bytes_read - start["fsclient"])}
+    mbits.update({p.name: mbit(p.bytes_processed - start[p.name])
+                  for p in pagers})
+    stats = {}
+    if storm:
+        swap = victim.driver.swap
+        usd_client = swap.channel.usd_client
+        stats = {
+            "faults_injected": system.fault_injector.injected,
+            "usd_retries": usd_client.retries,
+            "usd_failures": usd_client.failures,
+            "sfs_remaps": swap.remaps,
+            "pages_lost": victim.driver.pages_lost,
+            "watchdog_kills": victim.app.mmentry.watchdog_kills,
+        }
+    return {"mbit": mbits, "stats": stats, "victim": victim.name}
+
+
+def run(config=ChaosConfig()):
+    """Baseline run, storm run, then the storm again for determinism."""
+    baseline = _run_once(config, storm=False)
+    storm = _run_once(config, storm=True)
+    repeat = _run_once(config, storm=True)
+    reproducible = (json.dumps(storm, sort_keys=True)
+                    == json.dumps(repeat, sort_keys=True))
+    return ChaosResult(config=config, baseline=baseline["mbit"],
+                       storm=storm["mbit"], stats=storm["stats"],
+                       victim=storm["victim"], reproducible=reproducible)
+
+
+def format_result(result):
+    rows = []
+    for name in result.baseline:
+        note = "<- fault storm" if name == result.victim else ""
+        rows.append((name, "%.2f" % result.baseline[name],
+                     "%.2f" % result.storm[name],
+                     "%.1f%%" % (100 * result.retention(name)), note))
+    lines = [report.table(
+        ["domain", "clean Mbit/s", "storm Mbit/s", "retention", ""],
+        rows, title="Chaos — Figure-9 workload under a fault storm")]
+    stats = ", ".join("%s=%s" % kv for kv in sorted(result.stats.items()))
+    lines.append("recovery: %s" % stats)
+    lines.append("bystanders within %.0f%%: %s"
+                 % (100 * result.config.tolerance,
+                    "yes" if result.isolated else "NO"))
+    lines.append("storm reproducible (seed %d): %s"
+                 % (result.config.seed,
+                    "yes" if result.reproducible else "NO"))
+    return "\n".join(lines)
+
+
+def main():
+    result = run()
+    print(format_result(result))
+    if not result.passed:
+        raise SystemExit("chaos: isolation/reproducibility check FAILED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the paging/storage stack."""
+
+from repro.faults.plan import (
+    BAD_BLOCK,
+    CLEAN,
+    LATENCY,
+    STATUS_IO_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STUCK,
+    TRANSIENT,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "BAD_BLOCK", "CLEAN", "LATENCY", "STATUS_IO_ERROR", "STATUS_OK",
+    "STATUS_TIMEOUT", "STUCK", "TRANSIENT", "FaultDecision",
+    "FaultInjector", "FaultPlan", "FaultRule",
+]

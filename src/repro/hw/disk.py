@@ -46,6 +46,13 @@ from repro.sim.units import MS, US
 READ = "read"
 WRITE = "write"
 
+# Transaction completion statuses. The disk cannot distinguish a
+# transient error from a persistent one — that judgement belongs to the
+# retrying layer (the USD), exactly as with real drives.
+STATUS_OK = "ok"
+STATUS_IO_ERROR = "io_error"
+STATUS_TIMEOUT = "timeout"
+
 
 @dataclass(frozen=True)
 class DiskGeometry:
@@ -139,12 +146,25 @@ class DiskRequest:
 
 @dataclass(frozen=True)
 class DiskResult:
-    """Completion record for a transaction."""
+    """Completion record for a transaction.
+
+    ``status`` is :data:`STATUS_OK` for a successful transfer,
+    :data:`STATUS_IO_ERROR` for a medium/transfer error, or
+    :data:`STATUS_TIMEOUT` for a command that wedged and was timed out
+    by the drive. Failed transactions still consumed ``duration`` of
+    disk time — failures are not free, which is why retry time must be
+    charged to the requesting stream.
+    """
 
     request: DiskRequest
     start: int
     duration: int
     cached: bool
+    status: str = STATUS_OK
+
+    @property
+    def ok(self):
+        return self.status == STATUS_OK
 
     @property
     def end(self):
@@ -182,16 +202,19 @@ class Disk:
     (the USD serialises; the FCFS baseline queues).
     """
 
-    def __init__(self, sim, geometry=QUANTUM_VP3221, trace=None):
+    def __init__(self, sim, geometry=QUANTUM_VP3221, trace=None,
+                 injector=None):
         self.sim = sim
         self.geometry = geometry
         self.trace = trace
+        self.injector = injector   # optional repro.faults.FaultInjector
         self.head_cylinder = 0
         self._segments = []  # LRU order: index 0 oldest
         self._busy = False
         self.stats_reads = 0
         self.stats_writes = 0
         self.stats_cache_hits = 0
+        self.stats_errors = 0
         self.stats_busy_ns = 0
 
     # -- service-time computation -----------------------------------------
@@ -265,17 +288,30 @@ class Disk:
         start = self.sim.now
         try:
             duration, cached = self.service_time(req, start)
+            status = STATUS_OK
+            if self.injector is not None:
+                decision = self.injector.decide(req, start)
+                if decision.status != STATUS_OK:
+                    status = decision.status
+                    cached = False
+                duration += decision.extra_ns
             yield self.sim.timeout(duration)
         finally:
             self._busy = False
-        self._commit(req, cached)
+        if status == STATUS_OK:
+            self._commit(req, cached)
+        else:
+            # The head still moved (the drive tried); no data moved, so
+            # no cache segment is created or advanced.
+            self.stats_errors += 1
+            self.head_cylinder = self.geometry.cylinder_of(req.lba)
         self.stats_busy_ns += duration
         result = DiskResult(request=req, start=start, duration=duration,
-                            cached=cached)
+                            cached=cached, status=status)
         if self.trace is not None:
             self.trace.record(start, "disk", req.client or "?",
                               duration=duration, kind=req.kind,
-                              lba=req.lba, cached=cached)
+                              lba=req.lba, cached=cached, status=status)
         return result
 
     def _commit(self, req, cached):

@@ -231,6 +231,7 @@ class Domain:
                     thread.next_throw = event._value
             else:
                 thread.state = ThreadState.BLOCKED
+                thread.wait_event = event
                 event.add_callback(
                     lambda ev, t=thread: self._event_wakeup(t, ev))
             burst = self._charge_meter()
@@ -262,6 +263,9 @@ class Domain:
     def _event_wakeup(self, thread, event):
         if thread.state is not ThreadState.BLOCKED:
             return  # killed or already resumed
+        if thread.wait_event is not event:
+            return  # stale wakeup: a watchdog detached this wait
+        thread.wait_event = None
         if event.ok:
             thread.next_send = event._value
         else:

@@ -103,6 +103,7 @@ class Thread:
         self.pending_effect = None    # effect awaiting (re)execution
         self.next_send = None         # value for the next gen.send
         self.next_throw = None        # exception to throw into the gen
+        self.wait_event = None        # event a BLOCKED thread waits on
         self.done = domain.sim.event("%s.done" % self.name)
         self.faults = 0               # memory faults taken
 
@@ -120,6 +121,7 @@ class Thread:
             raise ThreadDied("cannot unblock dead thread %s" % self.name)
         if self.state is ThreadState.BLOCKED:
             self.next_send = value
+        self.wait_event = None
         self.state = ThreadState.RUNNABLE
         self.domain._kick()
 
@@ -128,6 +130,7 @@ class Thread:
         if self.state is ThreadState.DEAD:
             return
         self.state = ThreadState.DEAD
+        self.wait_event = None
         self.gen.close()
         if not self.done.triggered:
             self.done.trigger(None)

@@ -25,14 +25,35 @@ blocked and a worker finishes the job once activations are on.
 from collections import deque
 
 from repro.hw.mmu import FaultCode
-from repro.kernel.threads import Compute, Wait
-from repro.mm.sdriver import FaultOutcome
+from repro.kernel.threads import Compute, ThreadState, Wait
+from repro.mm.sdriver import FaultOutcome, FaultTimeout
+from repro.sim.units import fmt_time
+
+
+class _WorkerSlot:
+    """Watchdog bookkeeping for one MMEntry worker thread."""
+
+    __slots__ = ("thread", "fault")
+
+    def __init__(self):
+        self.thread = None
+        self.fault = None      # fault currently being resolved
 
 
 class MMEntry:
-    """Notification handlers + worker threads coordinating stretch drivers."""
+    """Notification handlers + worker threads coordinating stretch drivers.
 
-    def __init__(self, domain, frames_client, pagetable, workers=1):
+    ``fault_timeout`` arms a per-fault *resolution watchdog*: if a
+    worker's slow path has not finished within that many nanoseconds of
+    simulated time (a wedged disk, a lost completion), the watchdog
+    throws :class:`~repro.mm.sdriver.FaultTimeout` into the worker —
+    the same shape as the intrusive-revocation penalty: miss the
+    deadline and the faulting thread is killed rather than letting the
+    whole domain wedge behind one stuck fault. ``None`` disables it.
+    """
+
+    def __init__(self, domain, frames_client, pagetable, workers=1,
+                 fault_timeout=None):
         self.domain = domain
         self.sim = domain.sim
         self.meter = domain.meter
@@ -42,10 +63,12 @@ class MMEntry:
         self._by_sid = {}
         self._work = deque()           # queued faults / revocations
         self._work_event = None
+        self.fault_timeout = fault_timeout
         self.fast_resolved = 0
         self.slow_resolved = 0
         self.failures = 0
         self.revocations_handled = 0
+        self.watchdog_kills = 0
         metrics = domain.kernel.metrics
         self.spans = domain.kernel.spans
         faults = metrics.counter(
@@ -65,6 +88,10 @@ class MMEntry:
             "mm_work_queue_depth",
             help="faults/revocations queued for MMEntry workers"
         ).child(domain=domain.name)
+        self._c_watchdog = metrics.counter(
+            "mm_watchdog_kills_total",
+            help="slow-path fault resolutions killed by the watchdog"
+        ).child(domain=domain.name)
         self._h_latency = metrics.histogram(
             "mm_fault_latency_ns",
             help="fault-taken to thread-resumed latency"
@@ -75,9 +102,13 @@ class MMEntry:
         self.revocation_channel = domain.create_channel(
             "revocation", handler=self._revocation_notification)
         frames_client.revocation_channel = self.revocation_channel
+        self._slots = []
         for index in range(workers):
-            domain.add_thread(self._worker_body(),
-                              name="%s-mmworker-%d" % (domain.name, index))
+            slot = _WorkerSlot()
+            slot.thread = domain.add_thread(
+                self._worker_body(slot),
+                name="%s-mmworker-%d" % (domain.name, index))
+            self._slots.append(slot)
 
     # -- registration --------------------------------------------------------
 
@@ -169,7 +200,7 @@ class MMEntry:
 
     # -- worker threads -----------------------------------------------------------
 
-    def _worker_body(self):
+    def _worker_body(self, slot):
         while True:
             while self._work:
                 kind, payload, driver = self._work.popleft()
@@ -180,7 +211,17 @@ class MMEntry:
                     span = self.spans.start("fault.slow",
                                             client=self.domain.name,
                                             va=payload.va)
-                    ok = yield from driver.handle_slow(payload)
+                    slot.fault = payload
+                    if self.fault_timeout is not None:
+                        self.sim.call_after(
+                            self.fault_timeout,
+                            lambda s=slot, f=payload:
+                                self._watchdog_fire(s, f))
+                    try:
+                        ok = yield from driver.handle_slow(payload)
+                    except FaultTimeout:
+                        ok = False
+                    slot.fault = None
                     span.end(ok=ok)
                     if ok:
                         self.slow_resolved += 1
@@ -193,6 +234,29 @@ class MMEntry:
                     yield from self._handle_revocation(payload)
             self._work_event = self.sim.event("mmentry.work")
             yield Wait(self._work_event)
+
+    def _watchdog_fire(self, slot, fault):
+        """The per-fault resolution deadline passed: unwedge the worker.
+
+        If the worker already moved on, this is a no-op. Otherwise the
+        worker is blocked on an IO event that never (or too late)
+        triggers; we detach it from that wait and throw
+        :class:`FaultTimeout` at it, so the faulting thread is killed
+        instead of the whole MMEntry wedging behind one stuck fault.
+        """
+        if slot.fault is not fault:
+            return   # resolved (or failed) in time
+        worker = slot.thread
+        if worker.state is not ThreadState.BLOCKED:
+            return   # making progress (e.g. waiting on CPU), not wedged
+        self.watchdog_kills += 1
+        self._c_watchdog.inc()
+        worker.wait_event = None   # the stale event must not wake us
+        worker.next_throw = FaultTimeout(
+            "fault %r unresolved after %s" % (fault,
+                                              fmt_time(self.fault_timeout)))
+        worker.state = ThreadState.RUNNABLE
+        self.domain._kick()
 
     def _handle_revocation(self, request):
         """Cycle drivers until ``k`` frames are arranged, then reply."""

@@ -27,7 +27,8 @@ writes.
 """
 
 from repro.kernel.threads import Compute, Wait
-from repro.mm.sdriver import FaultOutcome, StretchDriver
+from repro.mm.sdriver import FaultOutcome, FaultTimeout, StretchDriver
+from repro.usd.usd import TransactionFailed
 
 
 class SwapFullError(Exception):
@@ -54,6 +55,12 @@ class PagedDriver(StretchDriver):
         self.pageins = 0
         self.pageouts = 0
         self.zero_fills = 0
+        # Failure containment state: pages whose only copy sat on a bad
+        # block (their faulting threads are killed; everything else
+        # keeps running), and bloks retired as bad.
+        self.unrecoverable = set()   # vpns lost to persistent read errors
+        self.pages_lost = 0
+        self.bloks_retired = 0
 
     # -- policy hooks (overridden by the forgetful variant) ------------------
 
@@ -78,6 +85,8 @@ class PagedDriver(StretchDriver):
         if not self._check_fault(fault):
             return FaultOutcome.FAILURE
         vpn = self.machine.page_of(fault.va)
+        if vpn in self.unrecoverable:
+            return FaultOutcome.FAILURE   # page lost to a bad block
         if self._has_disk_copy(vpn):
             return FaultOutcome.RETRY     # needs a disk read: IDC, so retry
         pfn = self._pop_free()
@@ -95,8 +104,10 @@ class PagedDriver(StretchDriver):
         """Worker-thread path: evict if needed, then page in or zero."""
         if not self._check_fault(fault):
             return False
-        self.faults_slow += 1
         vpn = self.machine.page_of(fault.va)
+        if vpn in self.unrecoverable:
+            return False                  # page lost to a bad block
+        self.faults_slow += 1
         pte = self.translation.pagetable.peek(vpn)
         if pte is not None and pte.mapped:
             return True  # already resolved (e.g. by a prefetcher)
@@ -114,8 +125,26 @@ class PagedDriver(StretchDriver):
                 return False
         if self._has_disk_copy(vpn):
             blok = self._on_disk[vpn]
-            yield Wait(self.swap.channel.slot())
-            yield Wait(self.swap.read(blok))
+            try:
+                yield Wait(self.swap.channel.slot())
+                yield Wait(self.swap.read(blok))
+            except TransactionFailed:
+                # Persistent read failure: the only copy of this page
+                # sat on a bad block. Contain the loss — retire the
+                # blok, mark just this page unrecoverable, give the
+                # frame back — and fail the fault (the MMEntry kills
+                # only the faulting thread).
+                self.note_io_failure()
+                self._retire_blok(vpn)
+                self.unrecoverable.add(vpn)
+                self.pages_lost += 1
+                self._free.append(pfn)
+                return False
+            except FaultTimeout:
+                # Watchdog unwedged us mid-IO: recover the frame, let
+                # the MMEntry account the kill.
+                self._free.append(pfn)
+                raise
             self.pageins += 1
             self._note_paged_in(vpn)
         else:
@@ -144,6 +173,14 @@ class PagedDriver(StretchDriver):
             self._blok_of[vpn] = blok
         return blok
 
+    def _retire_blok(self, vpn):
+        """Retire a bad blok: it stays allocated in the blokmap forever
+        (so first-fit never hands it out again) but is no longer this
+        page's home."""
+        self._blok_of.pop(vpn, None)
+        self._on_disk.pop(vpn, None)
+        self.bloks_retired += 1
+
     def _select_victim(self):
         """Choose (and remove from the resident list) the next victim.
 
@@ -166,20 +203,37 @@ class PagedDriver(StretchDriver):
         Cleans (writes) the page first if it is dirty or has no valid
         swap copy; a clean page with a swap copy is simply dropped.
         Returns the freed PFN, or None if nothing is resident.
+
+        A page-out that fails persistently (the SFS already exhausted
+        its retries *and* its spare region) retires the bad blok, keeps
+        the page resident — its data exists nowhere else — and moves on
+        to another victim with a fresh blok. Repeated failures burn
+        bloks until :class:`SwapFullError`, which is the honest signal
+        that this swap file can no longer back its stretch.
         """
-        vpn = self._select_victim()
-        if vpn is None:
-            return None
-        pte = self.translation.pagetable.peek(vpn)
-        must_write = pte.dirty or not self._has_disk_copy(vpn)
-        if must_write:
-            blok = self._assign_blok(vpn)
-            yield Wait(self.swap.channel.slot())
-            yield Wait(self.swap.write(blok))
-            self.pageouts += 1
-            self._note_written(vpn, blok)
-        pfn, _was_dirty = self._unmap_page(vpn)
-        return pfn
+        while True:
+            vpn = self._select_victim()
+            if vpn is None:
+                return None
+            pte = self.translation.pagetable.peek(vpn)
+            must_write = pte.dirty or not self._has_disk_copy(vpn)
+            if must_write:
+                blok = self._assign_blok(vpn)
+                try:
+                    yield Wait(self.swap.channel.slot())
+                    yield Wait(self.swap.write(blok))
+                except TransactionFailed:
+                    self.note_io_failure()
+                    self._retire_blok(vpn)
+                    self._resident.append(vpn)   # still resident, rejoin FIFO
+                    continue
+                except FaultTimeout:
+                    self._resident.append(vpn)
+                    raise
+                self.pageouts += 1
+                self._note_written(vpn, blok)
+            pfn, _was_dirty = self._unmap_page(vpn)
+            return pfn
 
     # -- revocation --------------------------------------------------------------------
 

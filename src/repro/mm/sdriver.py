@@ -24,12 +24,23 @@ The driver interface mirrors the two-phase fault handling of §6.5/§6.6:
 from enum import Enum
 
 from repro.hw.mmu import FaultCode
+from repro.obs.metrics import NULL_REGISTRY
 
 
 class FaultOutcome(Enum):
     SUCCESS = "success"
     RETRY = "retry"
     FAILURE = "failure"
+
+
+class FaultTimeout(Exception):
+    """Thrown into an MMEntry worker whose slow-path fault resolution
+    exceeded the watchdog deadline (the backing store wedged).
+
+    Defined here rather than in the MMEntry because drivers need to
+    catch it for cleanup (returning a half-used frame to the pool)
+    before re-raising.
+    """
 
 
 class StretchDriver:
@@ -53,6 +64,13 @@ class StretchDriver:
         self._free = []          # unused PFNs owned by this driver
         self.faults_fast = 0
         self.faults_slow = 0
+        self.io_failures = 0
+        metrics = getattr(getattr(domain, "kernel", None), "metrics",
+                          None) or NULL_REGISTRY
+        self._c_io_failures = metrics.counter(
+            "sdriver_io_failures_total",
+            help="persistent backing-store IO failures absorbed by "
+                 "stretch drivers, by driver").child(driver=name)
 
     # -- setup ----------------------------------------------------------
 
@@ -81,6 +99,11 @@ class StretchDriver:
     @property
     def free_frames(self):
         return len(self._free)
+
+    def note_io_failure(self):
+        """Record a persistent IO failure this driver had to absorb."""
+        self.io_failures += 1
+        self._c_io_failures.inc()
 
     def _pop_free(self):
         """Pop a *still-valid* unused frame from the pool.

@@ -329,12 +329,20 @@ class MetricsSnapshot:
         _kind, series = self._data.get(name, ("counter", {}))
         return [dict(key) for key in series]
 
-    def total(self, name, /):
-        """Sum across every label set (counters/gauges only)."""
+    def total(self, name, /, **labels):
+        """Sum across label sets, optionally restricted to those that
+        include ``labels`` (histograms sum their counts).
+
+        ``total("faults_injected_total", client="pager")`` sums every
+        kind of fault injected against one client.
+        """
         kind, series = self._data.get(name, ("counter", {}))
+        want = set(labels.items())
         if kind == "histogram":
-            return sum(cell["count"] for cell in series.values())
-        return sum(series.values())
+            return sum(cell["count"] for key, cell in series.items()
+                       if want <= set(key))
+        return sum(value for key, value in series.items()
+                   if want <= set(key))
 
     def diff(self, earlier):
         """The change since ``earlier``: counters and histograms

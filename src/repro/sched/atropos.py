@@ -41,6 +41,21 @@ from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.units import fmt_time
 
 
+class PendingWorkError(RuntimeError):
+    """A client was departed while work items were still queued.
+
+    Silently dropping queued items wedges their submitters forever
+    (their completion events never trigger). The caller must either
+    wait for the queue to drain or depart with ``discard=True``, which
+    fails every queued item's event so submitters learn their fate.
+    """
+
+
+class ClientDepartedError(Exception):
+    """The completion-event failure delivered to submitters whose
+    queued items were discarded by ``depart(discard=True)``."""
+
+
 @dataclass(frozen=True)
 class QoSSpec:
     """A (p, s, x, l) guarantee.
@@ -115,6 +130,8 @@ class AtroposClient:
         self.lax_ns = 0
         self.slack_items = 0
         self.slack_ns = 0
+        self.retries = 0
+        self.retry_ns = 0
         # Bound metrics children (null instruments when the scheduler
         # has no live registry). Labels: the scheduler ("sched") and
         # this client.
@@ -141,6 +158,13 @@ class AtroposClient:
             "sched_queue_depth", help="work items queued").child(**labels)
         self._h_txn = metrics.histogram(
             "sched_txn_ns", help="work-item service durations").child(**labels)
+        self._c_retries = metrics.counter(
+            "sched_retries_total",
+            help="failure retries performed inside work items").child(**labels)
+        self._c_retry_ns = metrics.counter(
+            "sched_retry_ns_total",
+            help="time consumed by failed attempts and their backoff, "
+                 "charged to the owning client").child(**labels)
 
     # -- client-facing API -------------------------------------------------
 
@@ -165,6 +189,20 @@ class AtroposClient:
             self.lax_used = 0
         self.scheduler._kick()
         return done
+
+    def note_retry(self, ns):
+        """Record one retry's cost (failed attempt + backoff).
+
+        Pure bookkeeping: the time itself is already charged against
+        ``remaining`` because retries run *inside* the work item being
+        measured — which is exactly how retry time can never leak onto
+        another stream's slice. This counter makes that attribution
+        visible to tests and the chaos report.
+        """
+        self.retries += 1
+        self.retry_ns += ns
+        self._c_retries.inc()
+        self._c_retry_ns.inc(ns)
 
     @property
     def pending(self):
@@ -240,10 +278,27 @@ class AtroposScheduler:
         self._kick()
         return client
 
-    def depart(self, client):
-        """Remove a client; its queued items fail-fast is not needed —
-        queued items are served while allocation lasts, then dropped."""
+    def depart(self, client, discard=False):
+        """Remove a client from scheduling.
+
+        Departing with work still queued used to drop the items
+        silently, wedging any submitter waiting on their completion
+        events. Now: raises :class:`PendingWorkError` unless
+        ``discard=True``, in which case every queued item's event fails
+        with :class:`ClientDepartedError` so waiters are notified.
+        """
+        if client.queue and not discard:
+            raise PendingWorkError(
+                "client %s departed with %d work item(s) queued; drain "
+                "first or depart(discard=True)"
+                % (client.name, len(client.queue)))
         client.departed = True
+        while client.queue:
+            item = client.queue.popleft()
+            item.done.fail(ClientDepartedError(
+                "client %s departed; queued %r discarded"
+                % (client.name, item.label)))
+        client._g_queue.set(0)
         self._kick()
 
     # -- internals -------------------------------------------------------------

@@ -43,7 +43,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
 from repro.sim.core import Simulator
 from repro.sim.trace import Trace
-from repro.sim.units import MS
+from repro.sim.units import MS, SEC
 from repro.usd.sfs import Partition, SwapFileSystem
 from repro.usd.usd import USD
 
@@ -58,7 +58,8 @@ class App:
         self.system = system
         self.domain = domain
         self.frames = frames_client
-        self.mmentry = MMEntry(domain, frames_client, system.pagetable)
+        self.mmentry = MMEntry(domain, frames_client, system.pagetable,
+                               fault_timeout=system.fault_timeout)
         self.drivers = []
         self.stretches = []
 
@@ -199,7 +200,9 @@ class App:
             if swap is not None:
                 client = swap.channel.usd_client
                 if client in system.usd.clients:
-                    system.usd.depart(client)
+                    # The domain is dead: nobody will collect queued
+                    # completions, so discard them (their events fail).
+                    system.usd.depart(client, discard=True)
         if self in system.apps:
             system.apps.remove(self)
 
@@ -213,7 +216,8 @@ class NemesisSystem:
                  rollover=True, slack_enabled=True, usd_trace=True,
                  system_reserve_frames=16, revocation_timeout=100 * MS,
                  swap_partition=(262144, 2_097_152),
-                 fs_partition=(3_500_000, 786_432), metrics=True):
+                 fs_partition=(3_500_000, 786_432), metrics=True,
+                 fault_plan=None, fault_timeout=30 * SEC):
         # Observability first: every subsystem below takes the registry.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.sim = Simulator(metrics=self.metrics)
@@ -229,6 +233,13 @@ class NemesisSystem:
         self.pagetable = _PAGETABLES[pagetable](machine, self.meter)
         self.mmu = MMU(machine, self.pagetable, self.meter)
         self.disk = Disk(self.sim, geometry)
+        # Fault injection (None = a healthy disk) and the per-fault
+        # resolution watchdog that keeps a wedged disk from wedging a
+        # domain (None = disabled).
+        self.fault_injector = None
+        self.fault_timeout = fault_timeout
+        if fault_plan is not None:
+            self.install_fault_plan(fault_plan)
         # Kernel + CPU.
         if cpu not in _CPUS:
             raise ValueError("cpu must be one of %s" % list(_CPUS))
@@ -274,6 +285,22 @@ class NemesisSystem:
         self.apps = []
 
     # -- construction -------------------------------------------------------
+
+    def install_fault_plan(self, plan):
+        """Attach a :class:`~repro.faults.FaultPlan` to the disk.
+
+        May be called mid-run (a fault storm that starts later is just
+        a plan whose rules have ``start_ns`` set). Passing ``None``
+        heals the disk.
+        """
+        from repro.faults import FaultInjector
+
+        if plan is None:
+            self.fault_injector = None
+        else:
+            self.fault_injector = FaultInjector(plan, metrics=self.metrics)
+        self.disk.injector = self.fault_injector
+        return self.fault_injector
 
     def new_app(self, name, guaranteed_frames, extra_frames=0,
                 cpu_qos=None):

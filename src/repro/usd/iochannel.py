@@ -24,6 +24,8 @@ class IOChannel:
         self.outstanding = 0
         self._slot_waiters = []
         self.submitted = 0
+        self.completed = 0
+        self.failed = 0
 
     @property
     def can_submit(self):
@@ -43,8 +45,15 @@ class IOChannel:
         done.add_callback(self._on_complete)
         return done
 
-    def _on_complete(self, _event):
+    def _on_complete(self, event):
         self.outstanding -= 1
+        if event.ok:
+            self.completed += 1
+        else:
+            # A failed transaction still frees its slot: failure must
+            # not leak channel capacity, or a fault storm would wedge
+            # the client behind a permanently-full channel.
+            self.failed += 1
         waiters, self._slot_waiters = self._slot_waiters, []
         for waiter in waiters:
             if not waiter.triggered:

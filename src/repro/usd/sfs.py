@@ -11,9 +11,21 @@ on the same disk"). A :class:`SwapFile` is an extent plus an admitted
 USD stream plus an IO channel; it exposes the page-granularity
 ``read(blok)`` / ``write(blok)`` operations the paged stretch driver
 uses.
+
+**Bad-block remapping**: each swap file may carry a small *spare
+region* (a second extent). When a page-out fails persistently — the
+USD's retry budget is exhausted, so this is a medium error, not a
+glitch — the SFS remaps the blok to the next spare slot and rewrites
+there: the page data is still in memory, so a write failure is fully
+recoverable as long as spares remain. Read failures cannot be remapped
+(the data exists nowhere else); they propagate to the stretch driver,
+whose job is to contain the loss. The remap table is consulted on
+every subsequent access, so a remapped blok's reads follow it to the
+spare region.
 """
 
 from repro.hw.disk import DiskRequest, READ, WRITE
+from repro.obs.metrics import NULL_REGISTRY
 from repro.usd.iochannel import IOChannel
 
 
@@ -72,7 +84,8 @@ class SwapFile:
     within the extent.
     """
 
-    def __init__(self, sim, name, extent, usd_client, machine, depth=2):
+    def __init__(self, sim, name, extent, usd_client, machine, depth=2,
+                 spare_extent=None, metrics=None):
         self.sim = sim
         self.name = name
         self.extent = extent
@@ -84,26 +97,100 @@ class SwapFile:
         self.channel = IOChannel(sim, usd_client, depth=depth)
         self.reads = 0
         self.writes = 0
+        # Bad-block remapping state.
+        self.spare_extent = spare_extent
+        self.spare_bloks = (0 if spare_extent is None
+                            else spare_extent.nblocks // self.blok_blocks)
+        self.spares_used = 0
+        self.remaps = 0
+        self.remap_table = {}  # blok -> lba in the spare region
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_remaps = metrics.counter(
+            "sfs_remaps_total",
+            help="bloks remapped to the spare region after persistent "
+                 "write failures, by swap file").child(swapfile=name)
+
+    @property
+    def spares_left(self):
+        return self.spare_bloks - self.spares_used
 
     def _lba(self, blok):
         if not 0 <= blok < self.nbloks:
             raise ExtentError("blok %d outside swap file %s" % (blok,
                                                                 self.name))
+        remapped = self.remap_table.get(blok)
+        if remapped is not None:
+            return remapped
         return self.extent.start + blok * self.blok_blocks
 
     def read(self, blok):
-        """Page in one blok; returns the completion SimEvent."""
+        """Page in one blok; returns the completion SimEvent.
+
+        A persistent read failure fails the event (there is no second
+        copy to remap to) — containment is the stretch driver's job.
+        """
         self.reads += 1
-        return self.channel.submit(DiskRequest(
-            kind=READ, lba=self._lba(blok), nblocks=self.blok_blocks,
-            client=self.name))
+        return self._submit(READ, blok)
 
     def write(self, blok):
-        """Page out one blok; returns the completion SimEvent."""
+        """Page out one blok; returns the completion SimEvent.
+
+        A persistent write failure is absorbed here when spares remain:
+        the blok is remapped to the spare region and rewritten, and the
+        event only fails once spares are exhausted too.
+        """
         self.writes += 1
-        return self.channel.submit(DiskRequest(
-            kind=WRITE, lba=self._lba(blok), nblocks=self.blok_blocks,
+        return self._submit(WRITE, blok)
+
+    # -- submission with write-failure remapping ---------------------------
+
+    def _submit(self, kind, blok):
+        done = self.sim.event("sfs.%s.%s(%d)" % (self.name, kind, blok))
+        inner = self.channel.submit(DiskRequest(
+            kind=kind, lba=self._lba(blok), nblocks=self.blok_blocks,
             client=self.name))
+        inner.add_callback(
+            lambda ev, k=kind, b=blok: self._complete(ev, done, k, b))
+        return done
+
+    def _complete(self, inner, done, kind, blok):
+        if inner.ok:
+            done.trigger(inner._value)
+            return
+        exc = inner._value
+        if (kind == WRITE and self.spares_left > 0
+                and getattr(exc, "result", None) is not None):
+            # Persistent write failure with spares available: remap and
+            # rewrite. The retry budget already ruled out a transient.
+            self.remap_table[blok] = (self.spare_extent.start
+                                      + self.spares_used * self.blok_blocks)
+            self.spares_used += 1
+            self.remaps += 1
+            self._c_remaps.inc()
+            self.sim.spawn(self._rewrite(done, blok),
+                           name="sfs-remap-%s-%d" % (self.name, blok))
+            return
+        done.fail(exc)
+
+    def _rewrite(self, done, blok):
+        """Rewrite a remapped blok once a channel slot is free.
+
+        Chains back through :meth:`_complete`, so a spare that is itself
+        bad triggers a further remap until spares run out.
+        """
+        while not self.channel.can_submit:
+            yield self.channel.slot()
+        try:
+            inner = self.channel.submit(DiskRequest(
+                kind=WRITE, lba=self._lba(blok), nblocks=self.blok_blocks,
+                client=self.name))
+        except Exception as exc:
+            # e.g. the stream departed while we waited for a slot.
+            if not done.triggered:
+                done.fail(exc)
+            return
+        inner.add_callback(
+            lambda ev, b=blok: self._complete(ev, done, WRITE, b))
 
 
 class SwapFileSystem:
@@ -116,17 +203,25 @@ class SwapFileSystem:
         self.partition = partition
         self.swapfiles = []
 
-    def create_swapfile(self, name, nbytes, qos, depth=2):
+    def create_swapfile(self, name, nbytes, qos, depth=2, spare_bloks=4):
         """Allocate an extent and negotiate ``qos`` with the USD.
 
-        ``nbytes`` is rounded up to whole bloks. Raises if the partition
-        or the USD's admission control refuses.
+        ``nbytes`` is rounded up to whole bloks. ``spare_bloks`` sizes
+        the bad-block spare region (silently skipped when the partition
+        cannot fit it — spares are an optimisation, not a guarantee).
+        Raises if the partition or the USD's admission control refuses.
         """
         nbytes = self.machine.align_up(nbytes)
         nblocks = nbytes // 512
         extent = self.partition.allocate_extent(nblocks)
+        spare_extent = None
+        spare_blocks = spare_bloks * (self.machine.page_size // 512)
+        if spare_blocks and self.partition.free_blocks >= spare_blocks:
+            spare_extent = self.partition.allocate_extent(spare_blocks)
         usd_client = self.usd.admit(name, qos)
         swapfile = SwapFile(self.sim, name, extent, usd_client,
-                            self.machine, depth=depth)
+                            self.machine, depth=depth,
+                            spare_extent=spare_extent,
+                            metrics=getattr(self.usd, "metrics", None))
         self.swapfiles.append(swapfile)
         return swapfile

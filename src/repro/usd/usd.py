@@ -13,35 +13,104 @@ Note the property the paper highlights: because EDF with per-period
 allocations naturally serves a client's transactions consecutively, the
 expensive seek after a "context switch" between clients is amortised
 over the client's subsequent run of transactions.
+
+**Failure recovery** (the fault-injection plane of :mod:`repro.faults`
+exercises this): a transaction whose :class:`~repro.hw.disk.DiskResult`
+reports an error is retried with capped exponential backoff, *inside
+the same Atropos work item* — so every failed attempt and every backoff
+nanosecond is measured and charged against the requesting stream's own
+(p, s) allocation, never anyone else's. Retries are deadline-aware:
+once the stream's own period budget cannot accommodate another attempt,
+the USD gives up and fails the completion event with
+:class:`TransactionFailed`, leaving recovery policy (remap? page kill?)
+to the client — self-paging applied to IO failure.
 """
+
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.hw.disk import DiskRequest
 from repro.obs.metrics import NULL_REGISTRY
 from repro.sched.atropos import AtroposScheduler
+from repro.sim.units import MS, US
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a USD stream retries failed transactions.
+
+    ``max_retries`` bounds the attempts *after* the first;
+    backoff for retry ``n`` (1-based) is ``backoff_ns << (n - 1)``
+    capped at ``backoff_cap_ns``. ``deadline_ns`` bounds the total time
+    from first submission to the last permitted retry; ``None`` uses
+    the stream's own period — if recovery cannot finish within one
+    period, the stream's guarantee is already forfeit and continued
+    retrying would only mortgage future periods.
+    """
+
+    max_retries: int = 4
+    backoff_ns: int = 500 * US
+    backoff_cap_ns: int = 8 * MS
+    deadline_ns: Optional[int] = None
+
+    def backoff_for(self, attempt):
+        return min(self.backoff_ns << (attempt - 1), self.backoff_cap_ns)
+
+
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+class TransactionFailed(Exception):
+    """A disk transaction failed beyond the retry policy's budget.
+
+    Carries the final :class:`~repro.hw.disk.DiskResult` and the number
+    of attempts made. Delivered by failing the completion event, so a
+    thread blocked in ``yield Wait(...)`` sees it raised at the wait.
+    """
+
+    def __init__(self, result, attempts, client):
+        super().__init__(
+            "disk %s at lba=%d for %s failed (%s) after %d attempt(s)"
+            % (result.request.kind, result.request.lba, client,
+               result.status, attempts))
+        self.result = result
+        self.attempts = attempts
+        self.client = client
 
 
 class USDClient:
     """A stream: the client side of a USD attachment."""
 
-    def __init__(self, usd, name, sched_client):
+    def __init__(self, usd, name, sched_client, retry=None):
         self.usd = usd
         self.name = name
+        self.retry = retry if retry is not None else usd.retry
         self._sched_client = sched_client
         self.transactions = 0
         self.blocks_moved = 0
+        self.retries = 0
+        self.failures = 0
         self._c_txns = usd.metrics.counter(
             "usd_transactions_total",
             help="disk transactions submitted, by stream").child(client=name)
         self._c_blocks = usd.metrics.counter(
             "usd_blocks_total",
             help="disk blocks requested, by stream").child(client=name)
+        self._c_retries = usd.metrics.counter(
+            "usd_retries_total",
+            help="failed-transaction retries, by stream").child(client=name)
+        self._c_failures = usd.metrics.counter(
+            "usd_txn_failures_total",
+            help="transactions failed beyond the retry budget, by stream"
+        ).child(client=name)
 
     @property
     def qos(self):
         return self._sched_client.qos
 
     def submit(self, request: DiskRequest):
-        """Queue one transaction; the event triggers with its DiskResult."""
+        """Queue one transaction; the event triggers with its DiskResult
+        (retries exhausted fail it with :class:`TransactionFailed`)."""
         if request.client != self.name:
             request = DiskRequest(kind=request.kind, lba=request.lba,
                                   nblocks=request.nblocks, client=self.name,
@@ -50,12 +119,39 @@ class USDClient:
         self.blocks_moved += request.nblocks
         self._c_txns.inc()
         self._c_blocks.inc(request.nblocks)
+        return self._sched_client.submit(lambda req=request: self._serve(req),
+                                         label=request.kind)
 
-        def serve(req=request):
+    def _serve(self, req):
+        """One work item: the transaction plus its whole retry ladder.
+
+        Runs inside the Atropos measurement window, so retry time —
+        failed attempts and backoff alike — is charged to this stream.
+        """
+        sim = self.usd.sim
+        policy = self.retry
+        deadline_ns = policy.deadline_ns
+        if deadline_ns is None:
+            deadline_ns = self.qos.period_ns if self.qos is not None \
+                else policy.backoff_cap_ns * (policy.max_retries + 1)
+        began = sim.now
+        attempts = 0
+        while True:
+            attempt_start = sim.now
             result = yield from self.usd.disk.transaction(req)
-            return result
-
-        return self._sched_client.submit(serve, label=request.kind)
+            if result.ok:
+                return result
+            attempts += 1
+            backoff = policy.backoff_for(attempts)
+            if (attempts > policy.max_retries
+                    or sim.now + backoff - began > deadline_ns):
+                self.failures += 1
+                self._c_failures.inc()
+                raise TransactionFailed(result, attempts, self.name)
+            self.retries += 1
+            self._c_retries.inc()
+            self._sched_client.note_retry(sim.now - attempt_start + backoff)
+            yield sim.timeout(backoff)
 
     @property
     def pending(self):
@@ -79,24 +175,31 @@ class USD:
     """The user-safe disk: admission + the Atropos-scheduled drive."""
 
     def __init__(self, sim, disk, trace=None, rollover=True,
-                 slack_enabled=True, metrics=None):
+                 slack_enabled=True, metrics=None, retry=None):
         self.sim = sim
         self.disk = disk
         self.trace = trace
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.retry = retry if retry is not None else RetryPolicy()
         self.sched = AtroposScheduler(sim, name="usd", trace=trace,
                                       rollover=rollover,
                                       slack_enabled=slack_enabled,
                                       metrics=self.metrics)
         self.clients = []
 
-    def admit(self, name, qos):
+    def admit(self, name, qos, retry=None):
         """Negotiate a (p, s, x, l) guarantee; raises if over-committed."""
         sched_client = self.sched.admit(name, qos)
-        client = USDClient(self, name, sched_client)
+        client = USDClient(self, name, sched_client, retry=retry)
         self.clients.append(client)
         return client
 
-    def depart(self, client):
-        self.sched.depart(client._sched_client)
+    def depart(self, client, discard=False):
+        """Release a stream's guarantee.
+
+        Raises :class:`~repro.sched.atropos.PendingWorkError` if
+        transactions are still queued, unless ``discard=True`` (which
+        fails their completion events so submitters are notified).
+        """
+        self.sched.depart(client._sched_client, discard=discard)
         self.clients.remove(client)

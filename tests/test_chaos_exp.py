@@ -1,0 +1,38 @@
+"""The chaos scenario's acceptance bar, as a test.
+
+Marked ``chaos`` and deselected from the default run: this is the
+end-to-end storm (three Figure-9 domains, three full runs), wired into
+``make chaos`` and its CI job.
+"""
+
+import pytest
+
+from repro.exp import chaos
+
+
+@pytest.fixture(scope="module")
+def result():
+    return chaos.run()
+
+
+@pytest.mark.chaos
+class TestChaosScenario:
+    def test_storm_actually_happened(self, result):
+        assert result.stats["faults_injected"] > 0
+        assert result.stats["usd_retries"] > 0
+        assert result.stats["sfs_remaps"] >= 1
+
+    def test_bystanders_keep_their_bandwidth(self, result):
+        assert result.bystanders == ["fsclient", "pager-20%"]
+        assert result.isolated, {
+            name: result.retention(name) for name in result.bystanders}
+
+    def test_victim_degrades_but_survives(self, result):
+        """Recovery costs the victim bandwidth — charged to it alone —
+        but it keeps making progress and loses no pages."""
+        assert 0 < result.storm[result.victim] \
+            <= result.baseline[result.victim]
+        assert result.stats["pages_lost"] == 0
+
+    def test_storm_is_reproducible(self, result):
+        assert result.reproducible

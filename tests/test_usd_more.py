@@ -4,7 +4,7 @@ mixed read/write streams, trace completeness."""
 import pytest
 
 from repro.hw.disk import Disk, DiskRequest, READ, WRITE
-from repro.sched.atropos import QoSSpec
+from repro.sched.atropos import ClientDepartedError, PendingWorkError, QoSSpec
 from repro.sim.trace import Trace
 from repro.sim.units import MS, SEC
 from repro.usd.usd import USD
@@ -67,13 +67,26 @@ class TestDeparture:
             period_ns=100 * MS, slice_ns=40 * MS, extra=True,
             laxity_ns=5 * MS))
         counts = {}
-        sim.spawn(closed_loop(sim, quitter, 500_000, counts))
+
+        def quitter_loop():
+            index = 0
+            while True:
+                try:
+                    yield quitter.submit(DiskRequest(
+                        kind=READ, lba=500_000 + (index % 128) * 16,
+                        nblocks=16))
+                except ClientDepartedError:
+                    return   # our queued work was discarded: we're done
+                counts["quitter"] = counts.get("quitter", 0) + 1
+                index += 1
+
+        sim.spawn(quitter_loop())
         sim.spawn(closed_loop(sim, stayer, 2_000_000, counts))
         sim.run(until=5 * SEC)
 
         def depart_later():
             yield sim.timeout(0)
-            usd.depart(quitter)
+            usd.depart(quitter, discard=True)
 
         sim.spawn(depart_later())
         before = counts["stayer"]
@@ -82,15 +95,33 @@ class TestDeparture:
         # The stayer (slack-eligible) absorbs the quitter's bandwidth.
         assert after > 1.5 * before
 
-    def test_departed_clients_queued_items_are_dropped(self, sim, usd):
+    def test_depart_with_pending_work_raises(self, sim, usd):
+        """Regression: depart used to drop queued items silently,
+        wedging any thread waiting on their completion events."""
         client = usd.admit("gone", QoSSpec(period_ns=100 * MS,
                                            slice_ns=50 * MS))
         done = client.submit(DiskRequest(kind=READ, lba=500_000,
                                          nblocks=16))
-        usd.depart(client)
+        with pytest.raises(PendingWorkError):
+            usd.depart(client)
+        # The refused depart left the client fully admitted.
+        assert client in usd.clients
+        assert not client._sched_client.departed
+
+    def test_depart_discard_fails_queued_items_events(self, sim, usd):
+        client = usd.admit("gone", QoSSpec(period_ns=100 * MS,
+                                           slice_ns=50 * MS))
+        done = client.submit(DiskRequest(kind=READ, lba=500_000,
+                                         nblocks=16))
+        usd.depart(client, discard=True)
+        # Discarded items fail their events immediately: no waiter can
+        # wedge on them, and nothing is served afterwards.
+        assert done.triggered and not done.ok
+        with pytest.raises(ClientDepartedError):
+            done.value
         sim.run(until=1 * SEC)
-        # The item was never served (no crash either).
-        assert not done.triggered
+        with pytest.raises(RuntimeError):
+            client.submit(DiskRequest(kind=READ, lba=500_000, nblocks=16))
 
 
 class TestMixedStreams:
