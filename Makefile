@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs chaos report lint
+.PHONY: verify test obs chaos chaos-pressure report lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -20,6 +20,12 @@ obs:
 chaos:
 	$(PYTHON) -m repro.exp chaos
 	$(PYTHON) -m pytest -q -m chaos
+
+# Memory-pressure scenario: hostile-domain revocation + clean-before-
+# release under a disk storm, plus the pressure-marked acceptance tests.
+chaos-pressure:
+	$(PYTHON) -m repro.exp chaos --pressure
+	$(PYTHON) -m pytest -q -m pressure
 
 # Accountability workload + JSON metrics snapshot (results/metrics.json).
 report:

@@ -39,7 +39,7 @@ class PagingApplication:
     def __init__(self, system, name, qos, mode="read-loop",
                  stretch_bytes=4 * MB, driver_frames=2,
                  swap_bytes=16 * MB, guaranteed_frames=None,
-                 watch_period=5 * SEC):
+                 extra_frames=0, watch_period=5 * SEC):
         if mode not in ("read-loop", "write-loop"):
             raise ValueError("mode must be 'read-loop' or 'write-loop'")
         self.system = system
@@ -51,7 +51,8 @@ class PagingApplication:
         # Contract: exactly the frames the driver needs (plus none
         # optimistic) — the time-sensitive-app idiom of §6.2.
         frames = driver_frames if guaranteed_frames is None else guaranteed_frames
-        self.app = system.new_app(name, guaranteed_frames=frames)
+        self.app = system.new_app(name, guaranteed_frames=frames,
+                                  extra_frames=extra_frames)
         self.stretch = self.app.new_stretch(stretch_bytes)
         self.driver = self.app.paged_driver(
             frames=driver_frames, swap_bytes=swap_bytes, qos=qos,

@@ -14,7 +14,7 @@ import sys
 import time
 
 from repro.exp import (ablations, chaos, fig7, fig8, fig9, metrics_report,
-                       microbench)
+                       microbench, pressure)
 
 
 def _banner(title):
@@ -54,6 +54,11 @@ def run_chaos():
     chaos.main()
 
 
+def run_pressure():
+    _banner("Pressure — revocation under memory pressure")
+    pressure.main()
+
+
 RUNNERS = {
     "table1": run_table1,
     "fig7": run_fig7,
@@ -61,10 +66,19 @@ RUNNERS = {
     "fig9": run_fig9,
     "ablations": run_ablations,
     "chaos": run_chaos,
+    "pressure": run_pressure,
 }
 
 
 def main(argv):
+    argv = list(argv)
+    if "--pressure" in argv:
+        # `chaos --pressure` selects the memory-pressure chaos scenario.
+        argv = [arg for arg in argv if arg != "--pressure"]
+        if "chaos" in argv:
+            argv[argv.index("chaos")] = "pressure"
+        elif "pressure" not in argv:
+            argv.append("pressure")
     if argv and argv[0] == "report":
         _banner("Metrics report")
         return metrics_report.main(argv[1:])

@@ -1,0 +1,310 @@
+"""Pressure chaos: revocation under memory pressure with a hostile domain.
+
+The Figure 4 escalation story, end to end, on an overcommitted machine:
+
+* main memory is deliberately small; two *cooperative* dirty-heavy
+  pagers (write-loop, so every resident page is dirty) hold optimistic
+  frames above their guarantees, and a *hostile* domain has mapped every
+  remaining free frame;
+* the hostile domain is scripted (via a :class:`~repro.faults.BehaviorPlan`)
+  to go **silent** under revocation — it never answers a notification;
+* a claimant then asks for frames *within its guarantee*. Self-paging
+  promises that request succeeds: the allocator escalates through the
+  intrusive protocol, the hostile domain burns its strikes, and is
+  killed — the only kill in the whole run;
+* transfer waves then revoke optimistic frames from the cooperating
+  pagers while a transient-error storm rages on their swap extents:
+  each wave forces clean-before-release through the victim's own USD
+  stream, with retries charged to the victim.
+
+The verdict checks the paper's contract under all that pressure:
+
+* the cooperative domains never drop below their guaranteed frames;
+* they keep >= 95% of their fault-free bandwidth;
+* only the hostile domain is killed;
+* the whole run is byte-for-byte reproducible given the same seed
+  (the storm run is executed twice and the payloads — including a
+  digest of the frames-allocator event trace — compared).
+
+Run it with ``python -m repro.exp chaos --pressure`` or
+``make chaos-pressure``.
+"""
+
+import json
+from dataclasses import dataclass
+from hashlib import blake2b
+
+from repro.apps.pager_app import PagingApplication
+from repro.exp import report
+from repro.faults import (REVOKE_SILENT, TRANSIENT, BehaviorPlan,
+                          BehaviorRule, FaultPlan, FaultRule)
+from repro.hw.mmu import AccessKind
+from repro.hw.platform import Machine
+from repro.kernel.threads import Touch, Wait
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    seed: int = 7
+    transient_rate: float = 0.03
+    machine_mb: int = 4               # 512 frames of 8 KB: easy to overcommit
+    coop_guaranteed: int = 24
+    coop_extra: int = 24
+    coop_driver_frames: int = 48      # guaranteed + extra, all dirty in use
+    coop_stretch_pages: int = 64
+    claim_frames: int = 24            # within the claimant's guarantee
+    claim_guaranteed: int = 32
+    wave_frames: int = 8
+    waves_per_donor: int = 3          # drains each donor's optimistic share
+    claim_at_sec: float = 1.0
+    settle_sec: float = 2.0
+    measure_sec: float = 4.0
+    wave_period_sec: float = 0.3
+    retention_floor: float = 0.95
+    revocation_timeout_ms: int = 100
+    max_rounds: int = 3
+
+
+@dataclass
+class PressureResult:
+    config: PressureConfig
+    baseline: dict      # full payload, fault-free disk
+    storm: dict         # full payload, transient storm on coop swap
+    reproducible: bool
+
+    def retention(self, name):
+        if not self.baseline["mbit"][name]:
+            return 0.0
+        return self.storm["mbit"][name] / self.baseline["mbit"][name]
+
+    @property
+    def coops(self):
+        return sorted(self.baseline["mbit"])
+
+    @property
+    def guarantees_held(self):
+        """No cooperative domain ever dipped below its guarantee."""
+        return all(
+            payload["min_allocated"][name] >= self.config.coop_guaranteed
+            for payload in (self.baseline, self.storm)
+            for name in self.coops)
+
+    @property
+    def hostile_killed_only(self):
+        return all(payload["kills"] == {"hostile": 1}
+                   for payload in (self.baseline, self.storm))
+
+    @property
+    def claim_satisfied(self):
+        """The within-guarantee request succeeded in full, both runs."""
+        return all(payload["claim_granted"] == self.config.claim_frames
+                   for payload in (self.baseline, self.storm))
+
+    @property
+    def bandwidth_held(self):
+        return all(self.retention(name) >= self.config.retention_floor
+                   for name in self.coops)
+
+    @property
+    def passed(self):
+        return (self.guarantees_held and self.hostile_killed_only
+                and self.claim_satisfied and self.bandwidth_held
+                and self.reproducible)
+
+
+# -- scenario processes ------------------------------------------------------
+
+
+def _hostile_main(system, stretch):
+    """Map every grabbed frame (so transparent revocation finds nothing
+    unused), then sit silently forever."""
+    for va in stretch.pages():
+        yield Touch(va, AccessKind.WRITE)
+    yield Wait(system.sim.event("hostile.idle"))   # never triggered
+
+
+def _sampler(system, clients, min_alloc, period=25 * MS):
+    """Record the minimum frames each cooperative client ever held."""
+    while True:
+        yield system.sim.timeout(period)
+        for name, client in clients.items():
+            min_alloc[name] = min(min_alloc[name], client.allocated)
+
+
+def _claim(system, client, config, results):
+    """The pressure trigger: a within-guarantee request with no free
+    memory left — must succeed via escalation against the hostile."""
+    yield system.sim.timeout(int(config.claim_at_sec * SEC))
+    granted = yield client.request_frames(config.claim_frames)
+    results["claim_granted"] = len(granted)
+
+
+def _waves(system, coops, claim_client, config, results):
+    """Alternating donor->claimant transfers: each forces intrusive
+    revocation of dirty optimistic frames (clean-before-release)."""
+    yield system.sim.timeout(int((config.settle_sec + 0.2) * SEC))
+    for _ in range(config.waves_per_donor):
+        for coop in coops:
+            pfns = yield system.frames_allocator.transfer(
+                coop.app.frames, claim_client, config.wave_frames)
+            results["transfers"].append(len(pfns))
+            for pfn in pfns:     # churn: the claimant only needed proof
+                claim_client.free(pfn)
+            yield system.sim.timeout(int(config.wave_period_sec * SEC))
+
+
+# -- one run -----------------------------------------------------------------
+
+
+def _trace_digest(trace):
+    """Stable digest of the frames-allocator event trace."""
+    digest = blake2b(digest_size=16)
+    for event in trace.events:
+        digest.update(repr((event.time, event.kind, event.client,
+                            event.duration,
+                            sorted(event.info.items()))).encode())
+    return digest.hexdigest()
+
+
+def _counter_total(system, name):
+    return sum(system.metrics.counter(name).series().values())
+
+
+def _run_once(config, storm):
+    machine = Machine(name="pressure-rig",
+                      phys_mem_bytes=config.machine_mb * MB)
+    behavior = BehaviorPlan(seed=config.seed, rules=(
+        BehaviorRule(kind=REVOKE_SILENT, domain="hostile"),))
+    system = NemesisSystem(
+        machine=machine,
+        revocation_timeout=config.revocation_timeout_ms * MS,
+        max_revocation_rounds=config.max_rounds,
+        behavior_plan=behavior)
+    qos = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS, extra=False,
+                  laxity_ns=10 * MS)
+    coops = [PagingApplication(
+        system, name, qos, mode="write-loop",
+        stretch_bytes=config.coop_stretch_pages * machine.page_size,
+        driver_frames=config.coop_driver_frames,
+        guaranteed_frames=config.coop_guaranteed,
+        extra_frames=config.coop_extra,
+        swap_bytes=2 * config.coop_stretch_pages * machine.page_size)
+        for name in ("coop-a", "coop-b")]
+    claimant = system.new_app("claimant",
+                              guaranteed_frames=config.claim_guaranteed,
+                              extra_frames=config.wave_frames * 2)
+    # The hostile domain: a tiny guarantee, a huge optimistic ceiling,
+    # and every remaining free frame mapped through a physical driver.
+    hostile = system.new_app("hostile", guaranteed_frames=8,
+                             extra_frames=machine.total_frames)
+    hog = hostile.physical_driver()
+    hog.provide_frames(machine.total_frames)    # best effort: drain the pool
+    grabbed = hog.free_frames
+    hog_stretch = hostile.new_stretch(grabbed * machine.page_size)
+    hostile.bind(hog_stretch, hog)
+    hostile.spawn(_hostile_main(system, hog_stretch), name="hostile-main")
+    if storm:
+        rules = tuple(
+            FaultRule(kind=TRANSIENT, rate=config.transient_rate,
+                      lba_start=coop.driver.swap.extent.start,
+                      lba_end=coop.driver.swap.extent.end)
+            for coop in coops)
+        system.install_fault_plan(FaultPlan(seed=config.seed, rules=rules))
+    results = {"claim_granted": None, "transfers": []}
+    clients = {c.name: c.app.frames for c in coops}
+    min_alloc = {name: client.allocated for name, client in clients.items()}
+    system.sim.spawn(_sampler(system, clients, min_alloc), name="sampler")
+    system.sim.spawn(_claim(system, claimant.frames, config, results),
+                     name="claim")
+    system.sim.spawn(_waves(system, coops, claimant.frames, config, results),
+                     name="waves")
+    system.run_for(int(config.settle_sec * SEC))
+    start = {c.name: c.bytes_processed for c in coops}
+    system.run_for(int(config.measure_sec * SEC))
+
+    def mbit(coop):
+        return ((coop.bytes_processed - start[coop.name]) * 8 / 1e6
+                / config.measure_sec)
+
+    kills_family = system.metrics.counter("frames_kills_total")
+    kills = {name: kills_family.get(domain=name)
+             for name in ("coop-a", "coop-b", "claimant", "hostile")}
+    return {
+        "mbit": {c.name: mbit(c) for c in coops},
+        "min_allocated": dict(min_alloc),
+        "kills": {name: count for name, count in kills.items() if count},
+        "claim_granted": results["claim_granted"],
+        "transfers": results["transfers"],
+        "hostile_grabbed": grabbed,
+        "stats": {
+            "revocation_rounds": _counter_total(
+                system, "frames_revocation_rounds_total"),
+            "revocation_cleans": _counter_total(
+                system, "frames_revocation_cleans_total"),
+            "behavior_faults": _counter_total(
+                system, "behavior_faults_injected_total"),
+            "pageouts": sum(c.driver.pageouts for c in coops),
+            "usd_retries": sum(
+                c.driver.swap.channel.usd_client.retries for c in coops),
+        },
+        "trace_digest": _trace_digest(system.frames_trace),
+    }
+
+
+def run(config=PressureConfig()):
+    """Fault-free baseline, the storm, then the storm again (determinism)."""
+    baseline = _run_once(config, storm=False)
+    storm = _run_once(config, storm=True)
+    repeat = _run_once(config, storm=True)
+    reproducible = (json.dumps(storm, sort_keys=True)
+                    == json.dumps(repeat, sort_keys=True))
+    return PressureResult(config=config, baseline=baseline, storm=storm,
+                          reproducible=reproducible)
+
+
+def format_result(result):
+    rows = []
+    for name in result.coops:
+        rows.append((
+            name,
+            "%.2f" % result.baseline["mbit"][name],
+            "%.2f" % result.storm["mbit"][name],
+            "%.1f%%" % (100 * result.retention(name)),
+            "%d" % result.storm["min_allocated"][name]))
+    lines = [report.table(
+        ["domain", "clean Mbit/s", "storm Mbit/s", "retention",
+         "min frames"],
+        rows, title="Pressure — revocation under memory pressure")]
+    stats = ", ".join("%s=%s" % kv
+                      for kv in sorted(result.storm["stats"].items()))
+    lines.append("recovery: %s" % stats)
+    lines.append("kills: %s (hostile only: %s)"
+                 % (result.storm["kills"] or "{}",
+                    "yes" if result.hostile_killed_only else "NO"))
+    lines.append("within-guarantee claim satisfied: %s"
+                 % ("yes" if result.claim_satisfied else "NO"))
+    lines.append("guarantees held throughout: %s"
+                 % ("yes" if result.guarantees_held else "NO"))
+    lines.append("bandwidth retention >= %.0f%%: %s"
+                 % (100 * result.config.retention_floor,
+                    "yes" if result.bandwidth_held else "NO"))
+    lines.append("storm reproducible (seed %d): %s"
+                 % (result.config.seed,
+                    "yes" if result.reproducible else "NO"))
+    return "\n".join(lines)
+
+
+def main():
+    result = run()
+    print(format_result(result))
+    if not result.passed:
+        raise SystemExit("pressure: revocation-under-pressure check FAILED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,18 @@
 """Deterministic fault injection for the paging/storage stack."""
 
+from repro.faults.behavior import (
+    ALLOC_THRASH,
+    BEHAVIOR_KINDS,
+    REVOKE_KINDS,
+    REVOKE_LIE,
+    REVOKE_PARTIAL,
+    REVOKE_SILENT,
+    REVOKE_SLOW,
+    BehaviorDecision,
+    BehaviorInjector,
+    BehaviorPlan,
+    BehaviorRule,
+)
 from repro.faults.plan import (
     BAD_BLOCK,
     CLEAN,
@@ -16,7 +29,10 @@ from repro.faults.plan import (
 )
 
 __all__ = [
-    "BAD_BLOCK", "CLEAN", "LATENCY", "STATUS_IO_ERROR", "STATUS_OK",
-    "STATUS_TIMEOUT", "STUCK", "TRANSIENT", "FaultDecision",
-    "FaultInjector", "FaultPlan", "FaultRule",
+    "ALLOC_THRASH", "BAD_BLOCK", "BEHAVIOR_KINDS", "CLEAN", "LATENCY",
+    "REVOKE_KINDS", "REVOKE_LIE", "REVOKE_PARTIAL", "REVOKE_SILENT",
+    "REVOKE_SLOW", "STATUS_IO_ERROR", "STATUS_OK", "STATUS_TIMEOUT",
+    "STUCK", "TRANSIENT", "BehaviorDecision", "BehaviorInjector",
+    "BehaviorPlan", "BehaviorRule", "FaultDecision", "FaultInjector",
+    "FaultPlan", "FaultRule",
 ]

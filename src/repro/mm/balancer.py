@@ -26,6 +26,7 @@ balancer optimises the slack, not the promises.
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.mm.frames import FramesError
 from repro.sim.units import MS, SEC
 
 
@@ -64,13 +65,20 @@ class MemoryBalancer:
         self.pressure_ratio = pressure_ratio
         self.decisions: List[BalancerDecision] = []
         self._last_faults = {}
+        self.errors = 0
+        self.orphan_grants = 0
+        self._c_errors = system.metrics.counter(
+            "balancer_errors_total",
+            help="faults the memory balancer absorbed and survived, "
+                 "by kind")
         self._proc = system.sim.spawn(self._run(), name="memory-balancer")
 
     # -- observation -----------------------------------------------------
 
     def _clients(self):
         return [c for c in self.system.frames_allocator.clients
-                if not c.killed and c.domain is not None]
+                if c.active and c.domain is not None
+                and not c.domain.dead]
 
     def _pressures(self):
         """Faults/s per client since the last sample."""
@@ -110,50 +118,88 @@ class MemoryBalancer:
 
     def _run(self):
         sim = self.system.sim
-        physmem = self.system.physmem
         while True:
             yield sim.timeout(self.period)
             pressures = self._pressures()
             granted = {}
             rebalanced = 0
-            needy = self._neediest(pressures)
-            if needy is not None:
-                # 1. Free memory first: always safe to hand out.
-                spare = physmem.free_in_region("main") - self.headroom
-                take = min(self.grant_batch, max(spare, 0),
-                           needy.quota - needy.allocated)
-                if take > 0:
-                    pfns = needy.allocator._alloc_sync(needy, take, "main",
-                                                       None)
-                    if pfns:
-                        self._notify_granted(needy, pfns)
-                        granted[needy.domain.name] = len(pfns)
-                # 2. Rebalance from a decisively more content client.
-                elif (donor := self._donor(pressures, needy)) is not None:
-                    donor_pressure = pressures.get(donor.domain.name, 0.0)
-                    needy_pressure = pressures.get(needy.domain.name, 0.0)
-                    if needy_pressure >= self.pressure_ratio * max(
-                            donor_pressure, self.min_pressure):
-                        want = min(self.grant_batch, donor.optimistic,
-                                   needy.quota - needy.allocated)
-                        if want > 0:
-                            transfer = self.system.frames_allocator.transfer(
-                                donor, needy, want)
-                            pfns = yield transfer
-                            if pfns:
-                                self._notify_granted(needy, pfns)
-                                rebalanced = len(pfns)
+            # The balancer must outlive anything a round can throw at
+            # it: a client killed mid-transfer, a contract that shrank
+            # between observation and action, an allocator refusing a
+            # departed client. Absorb, count, keep balancing.
+            try:
+                rebalanced = yield from self._balance_once(
+                    pressures, granted)
+            except FramesError:
+                self.errors += 1
+                self._c_errors.child(kind="frames_error").inc()
             self.decisions.append(BalancerDecision(
                 time=sim.now, pressures=pressures, granted=granted,
                 rebalanced=rebalanced))
+
+    def _balance_once(self, pressures, granted):
+        """One balancing round; fills ``granted``, returns frames moved."""
+        physmem = self.system.physmem
+        needy = self._neediest(pressures)
+        if needy is None:
+            return 0
+        # 1. Free memory first: always safe to hand out.
+        spare = physmem.free_in_region("main") - self.headroom
+        take = min(self.grant_batch, max(spare, 0),
+                   needy.quota - needy.allocated)
+        if take > 0:
+            pfns = needy.allocator._alloc_sync(needy, take, "main", None)
+            if pfns:
+                self._notify_granted(needy, pfns)
+                granted[needy.domain.name] = len(pfns)
+            return 0
+        # 2. Rebalance from a decisively more content client.
+        donor = self._donor(pressures, needy)
+        if donor is None:
+            return 0
+        donor_pressure = pressures.get(donor.domain.name, 0.0)
+        needy_pressure = pressures.get(needy.domain.name, 0.0)
+        if needy_pressure < self.pressure_ratio * max(
+                donor_pressure, self.min_pressure):
+            return 0
+        want = min(self.grant_batch, donor.optimistic,
+                   needy.quota - needy.allocated)
+        if want <= 0:
+            return 0
+        transfer = self.system.frames_allocator.transfer(
+            donor, needy, want)
+        pfns = yield transfer
+        if not pfns:
+            return 0
+        if not needy.active:
+            # The beneficiary was killed (or departed) while the
+            # transfer was in flight; its frames were already
+            # reclaimed with the rest of its holdings.
+            self.errors += 1
+            self._c_errors.child(kind="beneficiary_gone").inc()
+            return 0
+        self._notify_granted(needy, pfns)
+        return len(pfns)
 
     def _notify_granted(self, client, pfns):
         """Hand the new frames to the client's paged driver pool.
 
         Centralised-but-polite: the frames land in the driver's free
-        pool exactly as if the application had requested them.
+        pool exactly as if the application had requested them. A client
+        with no driver to adopt them (the app was torn down, or never
+        had one) must not leak the frames into limbo: they go straight
+        back to the allocator and the event is counted.
         """
         for app in getattr(self.system, "apps", []):
             if app.domain is client.domain and app.drivers:
                 app.drivers[0].adopt_frames(pfns)
                 return
+        self.orphan_grants += 1
+        self._c_errors.child(kind="orphan_grant").inc()
+        for pfn in pfns:
+            try:
+                client.free(pfn)
+            except FramesError:
+                # Already reclaimed (client killed between grant and
+                # notify); nothing left to return.
+                break

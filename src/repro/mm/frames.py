@@ -19,6 +19,16 @@ stack**:
   pages). If the application fails to arrange ``k`` unused frames on top
   of its stack by the deadline, "the domain is killed and all of its
   frames reclaimed" (Figure 4, right).
+
+The intrusive leg here is a bounded *escalation ladder* rather than a
+single-shot ultimatum: a round that makes progress (some frames arrive
+on top of the stack) earns the victim a fresh round with a shrunken
+``k``, so a cooperating domain that is merely slow to clean dirty pages
+is never killed for being dirty. Only ``max_revocation_rounds``
+*consecutive zero-progress* rounds — a genuinely silent or lying
+domain — escalate to the Figure 4 kill. Orderly exits use
+:meth:`FramesAllocator.depart`, which releases the contract without the
+kill accounting.
 """
 
 from collections import deque
@@ -78,6 +88,7 @@ class FramesClient:
         self.revocation_channel = None   # set by the MMEntry
         self._reply_event = None         # pending intrusive revocation
         self.killed = False
+        self.departed = False            # orderly contract release
 
     # -- derived quantities ----------------------------------------------
 
@@ -90,6 +101,11 @@ class FramesClient:
     def quota(self):
         """Hard ceiling on n."""
         return self.guaranteed + self.extra
+
+    @property
+    def active(self):
+        """Contract still live (neither killed nor departed)."""
+        return not self.killed and not self.departed
 
     # -- allocation --------------------------------------------------------
 
@@ -155,8 +171,16 @@ class FramesClient:
 
         Returns a SimEvent triggering with the list of granted PFNs
         (possibly shorter than ``count`` if the contract or memory runs
-        out — an optimistic request is best-effort).
+        out — an optimistic request is best-effort). This is the
+        frames-client injection point for ``alloc_thrash`` behaviour
+        faults: a thrashing domain's requests are inflated (capped by
+        its own quota, so the churn can never violate admission).
         """
+        behavior = self.allocator.behavior
+        if behavior is not None and self.domain is not None:
+            count = behavior.alloc_count(self.domain.name,
+                                         self.allocator.sim.now, count,
+                                         self.quota - self.allocated)
         return self.allocator._alloc_async(self, count)
 
     def free(self, pfn):
@@ -169,7 +193,7 @@ class FramesClient:
         Stretch drivers use this to lazily discard pool frames that were
         transparently revoked.
         """
-        return (not self.killed
+        return (self.active
                 and pfn in self.stack
                 and self.allocator.ramtab.owner(pfn) is self.domain
                 and self.allocator.ramtab.is_unused(pfn))
@@ -186,8 +210,8 @@ class FramesAllocator:
     """The centralised physical-memory allocator (system domain)."""
 
     def __init__(self, sim, physmem, ramtab, translation, trace=None,
-                 revocation_timeout=100 * MS, system_reserve=0,
-                 metrics=None, spans=None):
+                 revocation_timeout=100 * MS, max_revocation_rounds=3,
+                 system_reserve=0, metrics=None, spans=None):
         self.sim = sim
         self.physmem = physmem
         self.ramtab = ramtab
@@ -201,8 +225,16 @@ class FramesAllocator:
         self._m_kills = self.metrics.counter(
             "frames_kills_total",
             help="domains killed for violating the revocation protocol")
+        self._m_rounds = self.metrics.counter(
+            "frames_revocation_rounds_total",
+            help="intrusive revocation rounds driven, by victim domain")
+        self._m_departs = self.metrics.counter(
+            "frames_departs_total",
+            help="contracts released by orderly departure, by domain")
         self.revocation_timeout = revocation_timeout
+        self.max_revocation_rounds = max_revocation_rounds
         self.system_reserve = system_reserve
+        self.behavior = None            # optional BehaviorInjector
         self.clients = []
         self._requests = deque()
         self._wake = sim.event("frames.wake")
@@ -211,7 +243,7 @@ class FramesAllocator:
     # -- admission ------------------------------------------------------------
 
     def total_guaranteed(self):
-        return sum(c.guaranteed for c in self.clients if not c.killed)
+        return sum(c.guaranteed for c in self.clients if c.active)
 
     def admit(self, domain, guaranteed, extra=0):
         """Admit a domain with contract (guaranteed, extra).
@@ -252,6 +284,8 @@ class FramesAllocator:
         """Take a frame from the free pool if the contract allows it."""
         if client.killed:
             raise FramesError("client domain was killed")
+        if client.departed:
+            raise FramesError("client domain departed")
         if client.allocated >= client.quota:
             return None
         # Optimistic grants (n >= g) need no hold-back: optimistic frames
@@ -348,7 +382,7 @@ class FramesAllocator:
                 yield from self._do_transfer(client, count, donor, done)
                 continue
             granted = []
-            while len(granted) < count and not client.killed:
+            while len(granted) < count and client.active:
                 frame = self._take_free(client, "main")
                 if frame is not None:
                     self._grant(client, frame)
@@ -358,16 +392,31 @@ class FramesAllocator:
                     break  # optimistic: best effort, no revocation for it
                 needed = count - len(granted)
                 progressed = yield from self._revoke(needed, exclude=client)
-                if not progressed:
+                if progressed:
+                    continue
+                # Zero revocation progress only ends the request if the
+                # pool is still dry: a victim departing mid-round frees
+                # its frames without them counting as progress.
+                if self.physmem.free_in_region("main") == 0:
                     break  # nothing revocable: contract invariant violated
             done.trigger(granted)
 
     def _do_transfer(self, beneficiary, count, donor, done):
+        """One balancer-initiated donor→beneficiary move.
+
+        Either side may die (kill or departure) while the intrusive
+        protocol is in flight; the transfer then simply stops — revoked
+        frames stay in the free pool, and the result event always
+        triggers (with whatever was granted) so the balancer never
+        wedges on a dead transfer.
+        """
         count = min(count, donor.optimistic)
         granted = []
-        if count > 0 and not donor.killed and not beneficiary.killed:
+        if count > 0 and donor.active and beneficiary.active:
             freed = yield from self._revoke_victim(donor, count)
             for _ in range(min(freed, count)):
+                if not beneficiary.active:
+                    break   # beneficiary died while the donor cleaned
                 frame = self._take_free(beneficiary, "main")
                 if frame is None:
                     break
@@ -381,7 +430,7 @@ class FramesAllocator:
         """The client with the most optimistic frames (None if nobody)."""
         best = None
         for candidate in self.clients:
-            if candidate is exclude or candidate.killed:
+            if candidate is exclude or not candidate.active:
                 continue
             if candidate.optimistic <= 0:
                 continue
@@ -449,59 +498,132 @@ class FramesAllocator:
         """Revoke up to ``k`` frames from one specific victim.
 
         Transparent reclaim of its unused top-of-stack frames first,
-        then the intrusive notification protocol with deadline and
-        kill. Returns the number of frames freed into the pool.
+        then the intrusive notification protocol as a bounded
+        escalation ladder:
+
+        * each round asks for the outstanding ``k`` with a fresh
+          deadline ``revocation_timeout`` away;
+        * a round that delivers *any* frames is progress — the victim
+          earns a fresh round for the (shrunken) remainder, so a
+          cooperating domain whose top-of-stack frames are merely dirty
+          survives even if one deadline is not enough to clean them all;
+        * a zero-progress round (no reply, or a reply with nothing
+          arranged) is a strike; after ``max_revocation_rounds``
+          consecutive strikes the domain is genuinely silent or lying
+          and is killed (Figure 4, right) — kill is strictly the
+          backstop, never the first response. A silent re-ask also
+          shrinks ``k``, giving a struggling victim the easiest
+          possible target before escalation.
+
+        Returns the number of frames freed into the pool.
         """
         got = self._reclaim_top(victim, k)
         if got >= k or victim.optimistic <= 0:
             return got
-        ask = min(k - got, victim.optimistic)
         if victim.revocation_channel is None:
             # The domain cannot handle notifications: contract violation.
-            got += self._kill(victim)
+            got += self._kill(victim, reason="no revocation channel")
             return got
-        deadline = self.sim.now + self.revocation_timeout
-        request = RevocationRequest(k=ask, deadline=deadline)
-        victim._reply_event = self.sim.event("revocation.reply")
         victim_name = victim.domain.name if victim.domain else "?"
-        self._m_notifications.inc(domain=victim_name)
         span = self.spans.start("revocation.intrusive", client=victim_name,
-                                k=ask)
-        self._record("revoke_notify", victim, k=ask, deadline=deadline)
-        victim.revocation_channel.send(request)
-        timer = self.sim.timeout(self.revocation_timeout)
-        yield self.sim.any_of([victim._reply_event, timer])
-        replied = victim._reply_event.triggered
-        victim._reply_event = None
-        if replied:
+                                k=k - got)
+        ask = min(k - got, victim.optimistic)
+        rounds = 0
+        strikes = 0
+        while (got < k and victim.optimistic > 0 and victim.active):
+            rounds += 1
+            self._m_rounds.inc(domain=victim_name)
+            deadline = self.sim.now + self.revocation_timeout
+            request = RevocationRequest(k=ask, deadline=deadline)
+            victim._reply_event = self.sim.event("revocation.reply")
+            self._m_notifications.inc(domain=victim_name)
+            self._record("revoke_notify", victim, k=ask, deadline=deadline,
+                         round=rounds)
+            victim.revocation_channel.send(request)
+            timer = self.sim.timeout(self.revocation_timeout)
+            yield self.sim.any_of([victim._reply_event, timer])
+            replied = victim._reply_event.triggered
+            victim._reply_event = None
+            if replied:
+                timer.cancel()   # the race is decided; don't fire stale
+            if not victim.active:
+                break   # killed or departed while we waited
             reclaimed = self._reclaim_top(victim, ask, kind="intrusive")
-            if reclaimed >= ask:
-                span.end(reclaimed=reclaimed, killed=False)
-                return got + reclaimed
-            # Replied but did not deliver: protocol violation -> kill.
             got += reclaimed
-        got += self._kill(victim)
-        span.end(killed=True)
+            if got >= k or victim.optimistic <= 0:
+                span.end(rounds=rounds, killed=False)
+                return got
+            if reclaimed > 0:
+                # Progress: re-ask for the shrunken remainder.
+                strikes = 0
+                ask = min(k - got, victim.optimistic)
+                continue
+            # Zero progress: silent (no reply) or lying (empty reply).
+            strikes += 1
+            self._record("revoke_strike", victim, round=rounds,
+                         replied=replied)
+            if strikes >= self.max_revocation_rounds:
+                got += self._kill(
+                    victim, reason="lied under revocation" if replied
+                    else "silent under revocation")
+                span.end(rounds=rounds, killed=True)
+                return got
+            ask = max(1, min(ask // 2, victim.optimistic))
+        span.end(rounds=rounds, killed=victim.killed)
         return got
 
-    def _kill(self, victim):
-        """Deadline missed (or protocol violated): kill and reclaim all."""
-        self._record("kill", victim)
+    def _kill(self, victim, reason="revocation deadline missed"):
+        """Escalation exhausted (or protocol violated): kill, reclaim all."""
+        self._record("kill", victim, reason=reason)
         victim.killed = True
         victim_name = victim.domain.name if victim.domain else "?"
         self._m_kills.inc(domain=victim_name)
         if victim.domain is not None:
-            victim.domain.kill("revocation deadline missed")
-        freed = 0
-        for pfn in self.ramtab.owned_by(victim.domain):
-            self.translation.force_unmap_frame(pfn)
-            self.ramtab.clear_owner(pfn)
-            self.physmem.release(pfn)
-            freed += 1
+            victim.domain.kill(reason)
+        freed = self._reclaim_all(victim)
         if freed:
             victim._m_revoked.inc(freed, domain=victim_name, kind="kill")
-        victim.allocated = 0
-        victim._g_allocated.set(0)
-        victim.stack = FrameStack(depth_gauge=victim._stack_gauge)
-        victim._stack_gauge.set(0)
+        return freed
+
+    def _reclaim_all(self, client):
+        """Force-unmap and return every frame a dead contract holds."""
+        freed = 0
+        if client.domain is not None:
+            for pfn in self.ramtab.owned_by(client.domain):
+                self.translation.force_unmap_frame(pfn)
+                self.ramtab.clear_owner(pfn)
+                self.physmem.release(pfn)
+                freed += 1
+        else:
+            for pfn in client.stack.pfns_top_down():
+                self.ramtab.clear_owner(pfn)
+                self.physmem.release(pfn)
+                freed += 1
+        client.allocated = 0
+        client._g_allocated.set(0)
+        client.stack = FrameStack(depth_gauge=client._stack_gauge)
+        client._stack_gauge.set(0)
+        return freed
+
+    def depart(self, client):
+        """Orderly contract release (the opposite of :meth:`admit`).
+
+        All of the client's frames are force-unmapped and returned to
+        the pool, and the guarantee leaves admission-control accounting
+        exactly as a kill would release it — but without the kill
+        bookkeeping, so `frames_kills_total` keeps meaning "protocol
+        violators" only. Idempotent, and safe mid-revocation: a pending
+        intrusive round observes ``departed`` and stops escalating.
+        Returns the number of frames returned to the pool.
+        """
+        if not client.active:
+            return 0
+        client.departed = True
+        client_name = client.domain.name if client.domain else "?"
+        self._m_departs.inc(domain=client_name)
+        if client._reply_event is not None and not client._reply_event.triggered:
+            # Unblock a revocation round waiting on this domain.
+            client._reply_event.trigger(None)
+        freed = self._reclaim_all(client)
+        self._record("depart", client, freed=freed)
         return freed

@@ -53,12 +53,13 @@ class MMEntry:
     """
 
     def __init__(self, domain, frames_client, pagetable, workers=1,
-                 fault_timeout=None):
+                 fault_timeout=None, behavior=None):
         self.domain = domain
         self.sim = domain.sim
         self.meter = domain.meter
         self.frames = frames_client
         self.pagetable = pagetable
+        self.behavior = behavior       # optional BehaviorInjector
         self.drivers = []              # registration order
         self._by_sid = {}
         self._work = deque()           # queued faults / revocations
@@ -83,6 +84,12 @@ class MMEntry:
         self._c_revocations = metrics.counter(
             "mm_revocations_handled_total",
             help="intrusive revocation notifications serviced"
+        ).child(domain=domain.name)
+        self._c_cleans = metrics.counter(
+            "frames_revocation_cleans_total",
+            help="dirty pages written out (through the victim's own "
+                 "paged driver and USD stream) to satisfy intrusive "
+                 "revocation"
         ).child(domain=domain.name)
         self._g_queue = metrics.gauge(
             "mm_work_queue_depth",
@@ -187,10 +194,22 @@ class MMEntry:
             self._failed(fault, "stretch driver failed")
 
     def _revocation_notification(self, request):
-        """Queue a revocation request for a worker (IDC is needed)."""
+        """Queue a revocation request for a worker (IDC is needed).
+
+        This is the injection point for ``revoke_*`` behaviour faults:
+        a ``revoke_silent`` domain drops the notification here (it will
+        never reply — the allocator's escalation must kill it); the
+        other hostile behaviours ride along to the worker.
+        """
         self.meter.charge("notify_handler")
+        decision = None
+        if self.behavior is not None:
+            decision = self.behavior.revocation_decision(self.domain.name,
+                                                         self.sim.now)
+        if decision is not None and decision.kind == "revoke_silent":
+            return   # hostile: the request vanishes, no reply ever
         self.meter.charge("thread_block")
-        self._enqueue(("revoke", request, None))
+        self._enqueue(("revoke", (request, decision), None))
 
     def _enqueue(self, work):
         self._work.append(work)
@@ -231,7 +250,8 @@ class MMEntry:
                     else:
                         self._failed(payload, "slow path failed:")
                 else:
-                    yield from self._handle_revocation(payload)
+                    request, decision = payload
+                    yield from self._handle_revocation(request, decision)
             self._work_event = self.sim.event("mmentry.work")
             yield Wait(self._work_event)
 
@@ -258,19 +278,50 @@ class MMEntry:
         worker.state = ThreadState.RUNNABLE
         self.domain._kick()
 
-    def _handle_revocation(self, request):
-        """Cycle drivers until ``k`` frames are arranged, then reply."""
+    def _handle_revocation(self, request, decision=None):
+        """Cycle drivers until ``k`` frames are arranged, then reply.
+
+        The cleaning leg — dirty optimistic frames written out through
+        this domain's own paged driver and USD stream, every nanosecond
+        charged to this domain — is deadline-aware: drivers stop
+        starting new clean IOs once the revocation deadline is at hand
+        and we reply with whatever is arranged. Partial progress is
+        survivable (the allocator re-asks with a shrunken ``k``); only
+        zero progress counts as a strike.
+        """
         self.revocations_handled += 1
         self._c_revocations.inc()
         span = self.spans.start("revocation.handle",
                                 client=self.domain.name, k=request.k)
-        remaining = request.k
+        if decision is not None and decision.kind == "revoke_slow":
+            # Hostile dithering: the deadline keeps running while we nap.
+            yield Wait(self.sim.timeout(decision.delay_ns))
+        want = request.k
+        if decision is not None and decision.kind == "revoke_partial":
+            # Weak but not a liar: delivers at least one frame per round
+            # whenever its fraction is nonzero.
+            want = int(request.k * decision.fraction)
+            if decision.fraction > 0:
+                want = max(1, want)
+        elif decision is not None and decision.kind == "revoke_lie":
+            want = 0   # reply without arranging anything
+        remaining = want
+        clean_span = self.spans.start("revocation.clean",
+                                      client=self.domain.name, k=want)
+        pageouts_before = sum(getattr(d, "pageouts", 0)
+                              for d in self.drivers)
         for driver in self.drivers:
             if remaining <= 0:
                 break
-            arranged = yield from driver.release_frames(remaining)
+            arranged = yield from driver.release_frames(
+                remaining, deadline=request.deadline)
             remaining -= arranged
+        cleaned = sum(getattr(d, "pageouts", 0)
+                      for d in self.drivers) - pageouts_before
+        if cleaned:
+            self._c_cleans.inc(cleaned)
+        clean_span.end(cleaned=cleaned, shortfall=max(remaining, 0))
         span.end(shortfall=max(remaining, 0))
         # Reply regardless; the allocator verifies the top of the stack
-        # and kills us if we came up short (no safety net, §6.2).
+        # and escalates (re-ask, then kill) if we came up short (§6.2).
         self.frames.revocation_ready()

@@ -57,10 +57,16 @@ class NailedDriver(StretchDriver):
         return False
         yield  # pragma: no cover  (keeps this a generator)
 
-    def release_frames(self, k):
+    def release_frames(self, k, deadline=None):
         """Nailed frames are immune; only pool frames can be offered."""
-        arranged = min(k, len(self._free))
-        for pfn in self._free[:arranged]:
+        arranged = 0
+        for pfn in list(self._free):
+            if arranged >= k:
+                break
+            if not self.frames.owns_unused(pfn):
+                self._free.remove(pfn)   # revoked under us; drop stale entry
+                continue
             self.frames.stack.move_to_top(pfn)
+            arranged += 1
         return arranged
         yield  # pragma: no cover

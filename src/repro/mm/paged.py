@@ -61,6 +61,9 @@ class PagedDriver(StretchDriver):
         self.unrecoverable = set()   # vpns lost to persistent read errors
         self.pages_lost = 0
         self.bloks_retired = 0
+        # EWMA-free estimate of one clean (evict+write) for the
+        # deadline-aware revocation leg: the duration of the last one.
+        self._clean_cost_ns = 0
 
     # -- policy hooks (overridden by the forgetful variant) ------------------
 
@@ -237,12 +240,18 @@ class PagedDriver(StretchDriver):
 
     # -- revocation --------------------------------------------------------------------
 
-    def release_frames(self, k):
+    def release_frames(self, k, deadline=None):
         """Clean and unmap pages until ``k`` frames sit unused on top.
 
         This is the expensive leg of intrusive revocation — "this can
         require that it first clean some dirty pages; for this reason,
         T may be relatively far in the future (e.g. 100ms)" (§6.2).
+        Every write goes through this domain's own USD stream, so the
+        cleaning cost lands on the victim. With a ``deadline``, the
+        driver stops starting a clean that (going by the last one's
+        duration) would overrun it, and returns the partial count: the
+        allocator's escalation re-asks for the remainder instead of
+        killing a domain that is visibly cooperating.
         """
         arranged = 0
         for pfn in list(self._free):
@@ -251,10 +260,16 @@ class PagedDriver(StretchDriver):
             if self.frames.owns_unused(pfn):
                 self.frames.stack.move_to_top(pfn)
                 arranged += 1
+        sim = self.domain.sim
         while arranged < k and self._resident:
+            if (deadline is not None and arranged > 0
+                    and sim.now + self._clean_cost_ns >= deadline):
+                break   # out of time this round; reply with progress
+            started = sim.now
             pfn = yield from self._evict_one()
             if pfn is None:
                 break
+            self._clean_cost_ns = sim.now - started
             self._free.append(pfn)
             arranged += 1
         return arranged

@@ -65,7 +65,7 @@ class PhysicalDriver(StretchDriver):
 
     # -- revocation ---------------------------------------------------------------
 
-    def release_frames(self, k):
+    def release_frames(self, k, deadline=None):
         """Arrange up to ``k`` unused frames on top of the stack.
 
         Pool frames are offered first; then mapped pages are sacrificed
@@ -77,6 +77,9 @@ class PhysicalDriver(StretchDriver):
         for pfn in list(self._free):
             if arranged >= k:
                 break
+            if not self.frames.owns_unused(pfn):
+                self._free.remove(pfn)   # revoked under us; drop stale entry
+                continue
             self.frames.stack.move_to_top(pfn)
             arranged += 1
         while arranged < k and self._resident:

@@ -150,9 +150,16 @@ class StretchDriver:
         returning True on success."""
         raise NotImplementedError
 
-    def release_frames(self, k):
+    def release_frames(self, k, deadline=None):
         """Generator: arrange >= min(k, possible) unused frames on top
-        of the stack; returns the number arranged."""
+        of the stack; returns the number arranged.
+
+        ``deadline`` (absolute simulated time, or None) is the
+        revocation deadline: a driver whose releases cost IO should
+        stop starting new clean operations once it would overrun, and
+        return the partial count — the allocator re-asks rather than
+        killing a domain that made progress.
+        """
         raise NotImplementedError
 
     # -- common fault sanity check -------------------------------------------------

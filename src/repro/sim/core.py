@@ -126,16 +126,31 @@ class SimEvent:
 
 
 class Timeout(SimEvent):
-    """An event that triggers itself after a fixed delay."""
+    """An event that triggers itself after a fixed delay.
 
-    __slots__ = ("delay",)
+    :meth:`cancel` disarms a pending timeout: the heap entry still pops
+    at the scheduled time but no longer triggers the event. Deadline
+    timers whose race was already decided (the intrusive-revocation
+    reply arrived) are cancelled rather than left to fire stale.
+    """
+
+    __slots__ = ("delay", "cancelled")
 
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise ValueError("negative timeout: %r" % delay)
         super().__init__(sim, name="timeout(%s)" % fmt_time(delay))
         self.delay = delay
-        sim._schedule(delay, lambda: self.trigger(value))
+        self.cancelled = False
+        sim._schedule(delay, lambda: self._fire(value))
+
+    def _fire(self, value):
+        if not self.cancelled and not self.triggered:
+            self.trigger(value)
+
+    def cancel(self):
+        """Disarm the timeout; a no-op if it already triggered."""
+        self.cancelled = True
 
 
 class AllOf(SimEvent):

@@ -59,7 +59,8 @@ class App:
         self.domain = domain
         self.frames = frames_client
         self.mmentry = MMEntry(domain, frames_client, system.pagetable,
-                               fault_timeout=system.fault_timeout)
+                               fault_timeout=system.fault_timeout,
+                               behavior=system.behavior_injector)
         self.drivers = []
         self.stretches = []
 
@@ -185,12 +186,7 @@ class App:
         """
         system = self.system
         self.domain.kill("shutdown")
-        for pfn in system.ramtab.owned_by(self.domain):
-            system.translation.force_unmap_frame(pfn)
-            system.ramtab.clear_owner(pfn)
-            system.physmem.release(pfn)
-        self.frames.allocated = 0
-        self.frames.killed = True   # departed: contract released
+        system.frames_allocator.depart(self.frames)
         for stretch in list(self.stretches):
             if not stretch.destroyed:
                 system.stretch_allocator.destroy(stretch)
@@ -215,9 +211,11 @@ class NemesisSystem:
                  backing="usd",
                  rollover=True, slack_enabled=True, usd_trace=True,
                  system_reserve_frames=16, revocation_timeout=100 * MS,
+                 max_revocation_rounds=3,
                  swap_partition=(262144, 2_097_152),
                  fs_partition=(3_500_000, 786_432), metrics=True,
-                 fault_plan=None, fault_timeout=30 * SEC):
+                 fault_plan=None, behavior_plan=None,
+                 fault_timeout=30 * SEC):
         # Observability first: every subsystem below takes the registry.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.sim = Simulator(metrics=self.metrics)
@@ -237,6 +235,7 @@ class NemesisSystem:
         # resolution watchdog that keeps a wedged disk from wedging a
         # domain (None = disabled).
         self.fault_injector = None
+        self.behavior_injector = None
         self.fault_timeout = fault_timeout
         if fault_plan is not None:
             self.install_fault_plan(fault_plan)
@@ -258,6 +257,7 @@ class NemesisSystem:
         self.frames_allocator = FramesAllocator(
             self.sim, self.physmem, self.ramtab, self.translation,
             trace=self.frames_trace, revocation_timeout=revocation_timeout,
+            max_revocation_rounds=max_revocation_rounds,
             system_reserve=system_reserve_frames, metrics=self.metrics,
             spans=self.spans)
         # Backing store: the USD, or the FCFS baseline for the
@@ -283,6 +283,8 @@ class NemesisSystem:
         self.filesystem = FileSystem(self.sim, self.usd, machine,
                                      self.fs_partition)
         self.apps = []
+        if behavior_plan is not None:
+            self.install_behavior_plan(behavior_plan)
 
     # -- construction -------------------------------------------------------
 
@@ -301,6 +303,24 @@ class NemesisSystem:
             self.fault_injector = FaultInjector(plan, metrics=self.metrics)
         self.disk.injector = self.fault_injector
         return self.fault_injector
+
+    def install_behavior_plan(self, plan):
+        """Attach a :class:`~repro.faults.BehaviorPlan`: hostile-domain
+        rules consulted at the MMEntry revocation channel and the
+        frames-client request path. Passing ``None`` makes every domain
+        cooperative again. Applies to existing and future apps.
+        """
+        from repro.faults import BehaviorInjector
+
+        if plan is None:
+            self.behavior_injector = None
+        else:
+            self.behavior_injector = BehaviorInjector(plan,
+                                                      metrics=self.metrics)
+        self.frames_allocator.behavior = self.behavior_injector
+        for app in self.apps:
+            app.mmentry.behavior = self.behavior_injector
+        return self.behavior_injector
 
     def new_app(self, name, guaranteed_frames, extra_frames=0,
                 cpu_qos=None):

@@ -5,6 +5,7 @@ import pytest
 from repro.hw.mmu import AccessKind
 from repro.kernel.threads import Compute, Touch
 from repro.mm.balancer import MemoryBalancer
+from repro.mm.frames import FramesError
 from repro.sched.atropos import QoSSpec
 from repro.sim.units import MS, SEC
 
@@ -103,3 +104,74 @@ class TestBalancer:
         assert needy.frames.allocated > 20
         assert sum(d.rebalanced for d in balancer.decisions) > 0
         assert progress["pages"] > 20_000
+
+
+class TestBalancerRobustness:
+    """The balancer must outlive anything a hostile round throws at it."""
+
+    def test_survives_frames_error(self, system):
+        """An allocator that starts refusing grants does not kill the
+        balancer loop: the error is absorbed, counted, and sampling
+        continues."""
+        thrasher(system, "t", QOS_A)
+        balancer = MemoryBalancer(system, period=500 * MS, grant_batch=16)
+
+        def refuse(client, count, region, pfns):
+            raise FramesError("allocator refused (induced)")
+
+        system.frames_allocator._alloc_sync = refuse
+        system.run(5 * SEC)
+        assert balancer.errors > 0
+        assert system.metrics.counter("balancer_errors_total").get(
+            kind="frames_error") == balancer.errors
+        # The loop kept sampling after every failure.
+        assert len(balancer.decisions) >= 8
+
+    def test_orphan_grant_returned_to_allocator(self, system):
+        """Frames granted to a client with no driver to adopt them go
+        straight back to the allocator instead of leaking into limbo."""
+        bare = system.new_app("bare", guaranteed_frames=8)
+        balancer = MemoryBalancer(system, period=500 * MS)
+        pfns = bare.frames.alloc_now(4)
+        assert bare.frames.allocated == 4
+        balancer._notify_granted(bare.frames, pfns)
+        assert bare.frames.allocated == 0
+        assert balancer.orphan_grants == 1
+        assert system.metrics.counter("balancer_errors_total").get(
+            kind="orphan_grant") == 1
+
+    def test_clients_excludes_departed_and_dead(self, system):
+        stayer = system.new_app("stayer", guaranteed_frames=4)
+        leaver = system.new_app("leaver", guaranteed_frames=4)
+        balancer = MemoryBalancer(system, period=500 * MS)
+        assert {c.domain.name for c in balancer._clients()} >= {
+            "stayer", "leaver"}
+        system.frames_allocator.depart(leaver.frames)
+        names = {c.domain.name for c in balancer._clients()}
+        assert "leaver" not in names
+        assert "stayer" in names
+
+    def test_beneficiary_killed_mid_transfer(self, system):
+        """Drive one balancing round by hand: the beneficiary dies while
+        the transfer is in flight. The round must count the casualty and
+        grant nothing (the frames were reclaimed with the kill)."""
+        needy = system.new_app("needy", guaranteed_frames=4,
+                               extra_frames=64)
+        donor = system.new_app("donor", guaranteed_frames=2,
+                               extra_frames=64)
+        donor.frames.alloc_now(10)   # 8 optimistic frames to spare
+        # A huge headroom forces the round past the free-pool fast path
+        # and into the donor-transfer leg.
+        balancer = MemoryBalancer(system, period=500 * MS,
+                                  headroom_frames=10 ** 9)
+        gen = balancer._balance_once(
+            {"needy": 100.0, "donor": 0.0}, {})
+        transfer_event = gen.send(None)   # parked on the transfer
+        assert transfer_event is not None
+        needy.frames.killed = True        # dies while in flight
+        with pytest.raises(StopIteration) as stop:
+            gen.send([101, 102, 103])
+        assert stop.value.value == 0      # nothing counted as rebalanced
+        assert balancer.errors == 1
+        assert system.metrics.counter("balancer_errors_total").get(
+            kind="beneficiary_gone") == 1

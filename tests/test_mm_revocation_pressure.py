@@ -1,0 +1,375 @@
+"""Revocation under pressure: escalation, hostile domains, depart,
+transfer edge cases.
+
+These tests exercise the Figure 4 escalation ladder end to end:
+cooperating victims (even with every frame dirty) survive intrusive
+revocation across multiple rounds, while silent and lying domains are
+killed strictly as a backstop — and within the documented bound of
+``revocation_timeout x max_revocation_rounds``.
+"""
+
+import pytest
+
+from repro.faults import (ALLOC_THRASH, REVOKE_LIE, REVOKE_PARTIAL,
+                          REVOKE_SILENT, REVOKE_SLOW, BehaviorPlan,
+                          BehaviorRule)
+from repro.hw.mmu import AccessKind
+from repro.hw.platform import Machine
+from repro.kernel.threads import Touch
+from repro.mm.framestack import FrameStack
+from repro.sched.atropos import QoSSpec
+from repro.sim.core import Simulator
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+QOS = QoSSpec(period_ns=100 * MS, slice_ns=50 * MS, extra=True,
+              laxity_ns=5 * MS)
+
+
+def tiny_system(rules=(), seed=3, timeout=50 * MS, rounds=3, mem_mb=2):
+    """A 256-frame machine, optionally with hostile-behaviour rules."""
+    plan = BehaviorPlan(seed=seed, rules=tuple(rules)) if rules else None
+    return NemesisSystem(machine=Machine(name="tiny",
+                                         phys_mem_bytes=mem_mb * MB),
+                         revocation_timeout=timeout,
+                         max_revocation_rounds=rounds,
+                         behavior_plan=plan)
+
+
+def touching(stretch, count):
+    def body():
+        for index in range(count):
+            yield Touch(stretch.va_of_page(index), AccessKind.WRITE)
+    return body()
+
+
+def physical_hog(system, name="hog", guaranteed=2):
+    """An app with every free frame mapped through a physical driver —
+    nothing for transparent revocation, instant intrusive releases."""
+    total = system.physmem.region("main").frames
+    hog = system.new_app(name, guaranteed_frames=guaranteed,
+                         extra_frames=total)
+    stretch = hog.new_stretch(total * system.machine.page_size)
+    driver = hog.physical_driver(frames=0)
+    hog.bind(stretch, driver)
+    grabbed = hog.frames.alloc_now(system.physmem.free_in_region("main"))
+    driver.adopt_frames(grabbed)
+    thread = hog.spawn(touching(stretch, len(grabbed)))
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+    return hog, driver
+
+
+def paged_hog(system, name="hog", guaranteed=2):
+    """Like :func:`physical_hog` but paged: every resident page is
+    dirty, so intrusive revocation must clean through the USD."""
+    total = system.physmem.region("main").frames
+    hog = system.new_app(name, guaranteed_frames=guaranteed,
+                         extra_frames=total)
+    stretch = hog.new_stretch(total * system.machine.page_size)
+    driver = hog.paged_driver(frames=0, swap_bytes=8 * MB, qos=QOS)
+    hog.bind(stretch, driver)
+    grabbed = hog.frames.alloc_now(system.physmem.free_in_region("main"))
+    driver.adopt_frames(grabbed)
+    thread = hog.spawn(touching(stretch, len(grabbed)))
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+    return hog, driver
+
+
+def guaranteed_request(system, k=8, name="needy"):
+    needy = system.new_app(name, guaranteed_frames=k)
+    request = needy.frames.request_frames(k)
+    granted = system.sim.run_until_triggered(request, limit=60 * SEC)
+    return needy, granted
+
+
+class TestEscalationLadder:
+    def test_cooperative_all_dirty_victim_survives(self):
+        """The acceptance bar: a cooperating domain whose every frame is
+        dirty survives intrusive revocation even when one deadline is
+        too short to clean everything — progress earns fresh rounds."""
+        system = tiny_system(timeout=30 * MS)   # too short for 8 cleans
+        hog, driver = paged_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8
+        assert not hog.frames.killed
+        assert not hog.domain.dead
+        assert driver.pageouts >= 8           # dirty pages really cleaned
+        rounds = system.metrics.counter(
+            "frames_revocation_rounds_total").get(domain="hog")
+        assert rounds >= 2                    # the ladder, not one shot
+        cleans = system.metrics.counter(
+            "frames_revocation_cleans_total").get(domain="hog")
+        assert cleans >= 8
+
+    def test_silent_domain_killed_within_bound(self):
+        timeout, rounds = 50 * MS, 3
+        system = tiny_system([BehaviorRule(kind=REVOKE_SILENT,
+                                           domain="hog")],
+                             timeout=timeout, rounds=rounds)
+        hog, _driver = physical_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8              # the guarantee still held
+        assert hog.frames.killed
+        assert hog.domain.dead
+        notifies = system.frames_trace.filter(kind="revoke_notify",
+                                              client="hog")
+        kills = system.frames_trace.filter(kind="kill", client="hog")
+        assert notifies and kills
+        assert (kills[0].time - notifies[0].time) <= rounds * timeout
+        assert kills[0].info["reason"] == "silent under revocation"
+        assert system.metrics.counter("frames_kills_total").get(
+            domain="hog") == 1
+
+    def test_lying_domain_killed(self):
+        system = tiny_system([BehaviorRule(kind=REVOKE_LIE, domain="hog")])
+        hog, _driver = physical_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8
+        assert hog.frames.killed
+        assert hog.mmentry.revocations_handled >= 3  # it *did* reply
+        kills = system.frames_trace.filter(kind="kill", client="hog")
+        assert kills[0].info["reason"] == "lied under revocation"
+
+    def test_partial_domain_survives(self):
+        """Cooperative-but-weak: delivers half each round, never killed."""
+        system = tiny_system([BehaviorRule(kind=REVOKE_PARTIAL,
+                                           domain="hog", fraction=0.5)])
+        hog, _driver = physical_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8
+        assert not hog.frames.killed
+        rounds = system.metrics.counter(
+            "frames_revocation_rounds_total").get(domain="hog")
+        assert rounds >= 3                    # 4, 2, 1, 1 deliveries
+
+    def test_mildly_slow_domain_survives(self):
+        """Dithering past one deadline is a strike, not a death
+        sentence: the late reply lands in the next round as progress."""
+        system = tiny_system([BehaviorRule(kind=REVOKE_SLOW, domain="hog",
+                                           delay_ns=60 * MS)],
+                             timeout=50 * MS)
+        hog, _driver = physical_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8
+        assert not hog.frames.killed
+        strikes = system.frames_trace.filter(kind="revoke_strike",
+                                             client="hog")
+        assert strikes                        # it did miss a deadline
+
+    def test_endlessly_slow_domain_killed(self):
+        system = tiny_system([BehaviorRule(kind=REVOKE_SLOW, domain="hog",
+                                           delay_ns=1 * SEC)],
+                             timeout=50 * MS)
+        hog, _driver = physical_hog(system)
+        needy, granted = guaranteed_request(system, k=8)
+        assert len(granted) == 8
+        assert hog.frames.killed
+
+    def test_alloc_thrash_inflated_but_quota_capped(self):
+        system = tiny_system([BehaviorRule(kind=ALLOC_THRASH,
+                                           domain="greedy",
+                                           thrash_factor=100)])
+        greedy = system.new_app("greedy", guaranteed_frames=4,
+                                extra_frames=16)
+        request = greedy.frames.request_frames(1)
+        granted = system.sim.run_until_triggered(request, limit=SEC)
+        assert len(granted) == 20             # inflated, but quota-capped
+        assert greedy.frames.allocated <= greedy.frames.quota
+        assert system.metrics.counter(
+            "behavior_faults_injected_total").get(
+                kind=ALLOC_THRASH, domain="greedy") == 1
+
+
+class TestRevocationTimer:
+    def test_timeout_cancel_prevents_trigger(self):
+        sim = Simulator()
+        timer = sim.timeout(10 * MS)
+        timer.cancel()
+        sim.run(until=SEC)
+        assert not timer.triggered
+
+    def test_timer_cancelled_when_victim_replies(self):
+        """A cooperative reply must cancel the round's timeout timer so
+        the stale deadline cannot fire into a later round."""
+        system = tiny_system(timeout=500 * MS)
+        hog, _driver = physical_hog(system)
+        created = []
+        original = system.sim.timeout
+
+        def capturing(delay, value=None):
+            timer = original(delay, value)
+            if delay == system.frames_allocator.revocation_timeout:
+                created.append(timer)
+            return timer
+
+        system.sim.timeout = capturing
+        needy, granted = guaranteed_request(system, k=8)
+        system.sim.timeout = original
+        assert len(granted) == 8
+        assert created                        # the round armed a timer
+        assert all(timer.cancelled for timer in created)
+
+
+class TestDepart:
+    def test_depart_releases_admission(self, small_system):
+        allocator = small_system.frames_allocator
+        capacity = (small_system.physmem.region("main").frames
+                    - allocator.system_reserve)
+        client = allocator.admit(None, guaranteed=capacity)
+        allocator.depart(client)
+        allocator.admit(None, guaranteed=capacity)   # accounting released
+
+    def test_depart_returns_frames_and_is_idempotent(self, small_system):
+        allocator = small_system.frames_allocator
+        app = small_system.new_app("leaver", guaranteed_frames=8)
+        app.frames.alloc_now(8)
+        free_before = small_system.physmem.free_frames
+        assert allocator.depart(app.frames) == 8
+        assert small_system.physmem.free_frames == free_before + 8
+        assert app.frames.allocated == 0
+        assert app.frames.departed and not app.frames.active
+        assert allocator.depart(app.frames) == 0      # idempotent
+        assert small_system.metrics.counter(
+            "frames_departs_total").get(domain="leaver") == 1
+
+    def test_depart_mid_revocation_is_not_a_kill(self):
+        """A domain departing while an intrusive round waits on it must
+        unblock the round without being counted as a protocol kill."""
+        system = tiny_system([BehaviorRule(kind=REVOKE_SILENT,
+                                           domain="hog")],
+                             timeout=100 * MS)
+        hog, _driver = physical_hog(system)
+        needy = system.new_app("needy", guaranteed_frames=8)
+        request = needy.frames.request_frames(8)
+        system.run_for(50 * MS)               # one round is now waiting
+        assert system.frames_trace.filter(kind="revoke_notify",
+                                          client="hog")
+        system.frames_allocator.depart(hog.frames)
+        granted = system.sim.run_until_triggered(request, limit=10 * SEC)
+        assert len(granted) == 8
+        assert not hog.frames.killed
+        assert system.metrics.counter("frames_kills_total").get(
+            domain="hog") == 0
+
+    def test_shutdown_departs_contract(self, small_system):
+        app = small_system.new_app("a", guaranteed_frames=4)
+        app.frames.alloc_now(4)
+        app.shutdown()
+        assert app.frames.departed
+        assert app.frames.allocated == 0
+        assert small_system.metrics.counter("frames_kills_total").get(
+            domain="a") == 0
+
+
+class TestTransferEdges:
+    def test_zero_optimistic_donor_yields_empty(self):
+        system = tiny_system()
+        donor = system.new_app("donor", guaranteed_frames=4)
+        donor.frames.alloc_now(4)             # nothing optimistic
+        ben = system.new_app("ben", guaranteed_frames=2, extra_frames=8)
+        done = system.frames_allocator.transfer(donor.frames, ben.frames, 4)
+        pfns = system.sim.run_until_triggered(done, limit=SEC)
+        assert pfns == []
+        assert donor.frames.allocated == 4    # guarantee untouched
+
+    def test_donor_killed_mid_protocol_still_completes(self):
+        """A silent donor dies under the transfer's escalation; the
+        transfer still completes with frames from the kill reclaim."""
+        system = tiny_system([BehaviorRule(kind=REVOKE_SILENT,
+                                           domain="donor")],
+                             timeout=20 * MS)
+        donor, _driver = physical_hog(system, name="donor")
+        ben = system.new_app("ben", guaranteed_frames=2, extra_frames=8)
+        done = system.frames_allocator.transfer(donor.frames, ben.frames, 4)
+        pfns = system.sim.run_until_triggered(done, limit=10 * SEC)
+        assert donor.frames.killed
+        assert len(pfns) == 4
+        assert ben.frames.allocated == 4
+
+    def test_beneficiary_killed_mid_transfer(self):
+        """The beneficiary dying while the donor cleans must not wedge
+        the transfer or leak the revoked frames."""
+        system = tiny_system([BehaviorRule(kind=REVOKE_SLOW, domain="donor",
+                                           delay_ns=50 * MS)],
+                             timeout=100 * MS)
+        donor, _driver = physical_hog(system, name="donor")
+        ben = system.new_app("ben", guaranteed_frames=2, extra_frames=8)
+
+        def killer():
+            yield system.sim.timeout(10 * MS)
+            system.frames_allocator._kill(ben.frames, reason="test kill")
+
+        system.sim.spawn(killer(), name="killer")
+        done = system.frames_allocator.transfer(donor.frames, ben.frames, 4)
+        pfns = system.sim.run_until_triggered(done, limit=10 * SEC)
+        assert pfns == []                     # nothing granted to the dead
+        assert not donor.frames.killed
+        # The revoked frames landed in the free pool, not in limbo.
+        assert system.physmem.free_in_region("main") >= 4
+
+    def test_victim_selection_skips_departed(self):
+        system = tiny_system()
+        allocator = system.frames_allocator
+        a = system.new_app("a", guaranteed_frames=2, extra_frames=32)
+        a.frames.alloc_now(12)
+        b = system.new_app("b", guaranteed_frames=2, extra_frames=32)
+        b.frames.alloc_now(6)
+        assert allocator._victim(None) is a.frames
+        allocator.depart(a.frames)
+        assert allocator._victim(None) is b.frames
+        allocator.depart(b.frames)
+        assert allocator._victim(None) is None
+
+
+class TestFrameStackRevokedEntries:
+    def test_remove_twice_raises(self):
+        stack = FrameStack()
+        stack.push(1)
+        stack.push(2)
+        stack.remove(2)
+        with pytest.raises(KeyError):
+            stack.remove(2)
+
+    def test_move_to_top_on_revoked_raises(self):
+        stack = FrameStack()
+        stack.push(1)
+        stack.remove(1)
+        with pytest.raises(KeyError):
+            stack.move_to_top(1)
+        assert stack.top(1) == []
+        assert stack.top(0) == []
+
+    def test_kill_resets_stack(self):
+        system = tiny_system()
+        app = system.new_app("victim", guaranteed_frames=4)
+        pfns = app.frames.alloc_now(4)
+        system.frames_allocator._kill(app.frames, reason="test")
+        assert len(app.frames.stack) == 0
+        assert app.frames.stack.top(4) == []
+        for pfn in pfns:
+            assert pfn not in app.frames.stack
+
+    def test_release_frames_skips_transparently_revoked_pool(self):
+        """A stale pool entry (its frame was transparently revoked) must
+        be dropped by release_frames, not crash the stack reorder."""
+        system = tiny_system()
+        total = system.physmem.region("main").frames
+        hog = system.new_app("hog", guaranteed_frames=2, extra_frames=total)
+        driver = hog.physical_driver()
+        driver.provide_frames(system.physmem.free_in_region("main"))
+        # A guaranteed claim transparently revokes the unused frames.
+        needy = system.new_app("needy", guaranteed_frames=6)
+        needy.frames.alloc_now(6)
+        stale = [pfn for pfn in driver._free
+                 if not hog.frames.owns_unused(pfn)]
+        assert stale                            # revocation hit the pool
+        gen = driver.release_frames(len(driver._free))
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            arranged = stop.value
+        assert arranged == hog.frames.allocated  # only still-owned frames
+        for pfn in stale:
+            assert pfn not in driver._free       # lazily discarded

@@ -1,0 +1,103 @@
+"""Property-based tests: revocation isolation under arbitrary hostility.
+
+The acceptance property for the behaviour fault plane: **for any
+generated behaviour plan, no domain drops below its guaranteed frames
+except by its own protocol violation** — a within-guarantee request
+always succeeds, and the only domains the escalation ladder ever kills
+are ones with an applicable (and actually firing) ``revoke_*`` rule.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (BEHAVIOR_KINDS, REVOKE_KINDS, BehaviorPlan,
+                          BehaviorRule)
+from repro.hw.mmu import AccessKind
+from repro.hw.platform import Machine
+from repro.kernel.threads import Touch
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+HOGS = ("hog-a", "hog-b")
+
+rules = st.builds(
+    BehaviorRule,
+    kind=st.sampled_from(sorted(BEHAVIOR_KINDS)),
+    domain=st.sampled_from(HOGS + (None,)),
+    rate=st.sampled_from((0.0, 0.5, 1.0)),
+    delay_ns=st.sampled_from((5 * MS, 40 * MS, 400 * MS)),
+    fraction=st.sampled_from((0.0, 0.5, 1.0)),
+    thrash_factor=st.sampled_from((1, 4)),
+)
+plans = st.builds(
+    BehaviorPlan,
+    seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    rules=st.lists(rules, min_size=0, max_size=3).map(tuple),
+)
+
+
+def _touching(stretch, count):
+    def body():
+        for index in range(count):
+            yield Touch(stretch.va_of_page(index), AccessKind.WRITE)
+    return body()
+
+
+def _hog(system, name, take):
+    """An app with ``take`` frames mapped through a physical driver."""
+    total = system.physmem.region("main").frames
+    app = system.new_app(name, guaranteed_frames=2, extra_frames=total)
+    stretch = app.new_stretch(total * system.machine.page_size)
+    driver = app.physical_driver(frames=0)
+    app.bind(stretch, driver)
+    grabbed = app.frames.alloc_now(take)
+    driver.adopt_frames(grabbed)
+    thread = app.spawn(_touching(stretch, len(grabbed)))
+    system.sim.run_until_triggered(thread.done, limit=120 * SEC)
+    return app
+
+
+def _revoke_rules_for(plan, name):
+    """The plan's revoke-kind rules scoped to ``name`` (window-free
+    rules, so domain match is the whole scope check)."""
+    return [r for r in plan.rules
+            if r.kind in REVOKE_KINDS and r.domain in (None, name)]
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=plans)
+def test_guarantees_survive_any_behavior_plan(plan):
+    system = NemesisSystem(
+        machine=Machine(name="tiny", phys_mem_bytes=2 * MB),
+        revocation_timeout=10 * MS, max_revocation_rounds=2,
+        behavior_plan=plan)
+    half = system.physmem.free_in_region("main") // 2
+    hogs = [_hog(system, "hog-a", half),
+            _hog(system, "hog-b", system.physmem.free_in_region("main"))]
+    assert all(h.frames.allocated > h.frames.guaranteed for h in hogs)
+
+    # A within-guarantee request must succeed no matter how the hogs
+    # misbehave: transparent revocation, the escalation ladder, and the
+    # Figure 4 kill backstop between them always find the frames.
+    needy = system.new_app("needy", guaranteed_frames=8)
+    request = needy.frames.request_frames(8)
+    granted = system.sim.run_until_triggered(request, limit=60 * SEC)
+    assert len(granted) == 8
+
+    for hog in hogs:
+        client = hog.frames
+        matching = _revoke_rules_for(plan, hog.domain.name)
+        if client.killed:
+            # Killed only for its own protocol violation: it had a
+            # revoke rule that could actually fire.
+            assert any(r.rate > 0.0 for r in matching)
+        if all(r.rate == 0.0 for r in matching):
+            # Every applicable rule is inert: the domain behaved
+            # cooperatively and must not have been killed.
+            assert not client.killed
+        if client.active:
+            # Live contracts never drop below their guarantee.
+            assert client.allocated >= client.guaranteed
+    assert needy.frames.allocated >= 8
