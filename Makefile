@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs chaos chaos-pressure report lint
+.PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
+    lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -31,5 +32,20 @@ chaos-pressure:
 report:
 	$(PYTHON) -m repro.exp report --metrics
 
+# Performance plane: the full benchmark suite (warmup + 3 reps, a few
+# minutes) writing a schema-versioned BENCH_<timestamp>.json at the
+# repo root. `bench-smoke` is the CI variant: 1 rep, no warmup,
+# scaled-down workloads — validates the harness, not the numbers.
+bench:
+	$(PYTHON) -m repro.exp bench
+
+bench-smoke:
+	$(PYTHON) -m repro.exp bench --smoke
+
 lint:
 	$(PYTHON) -m compileall -q src
+
+# Docstring-coverage gate (dependency-free interrogate stand-in).
+docs-lint:
+	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
+	    src/repro/exp

@@ -1,20 +1,30 @@
 """Run the whole evaluation from the command line.
 
-    python -m repro.exp [table1|fig7|fig8|fig9|ablations|all]
+    python -m repro.exp [table1|fig7|fig8|fig9|ablations|chaos|pressure|all]
+    python -m repro.exp chaos --pressure
     python -m repro.exp report --metrics [--out DIR]
+    python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
+    python -m repro.exp --profile [experiment ...]
 
-Without arguments, everything runs at paper scale (a few minutes of
-simulated-time crunching). Individual experiments accept the same names
-as their modules. ``report`` runs the accountability workload and dumps
+Without arguments, everything runs at paper scale (~30 s of wall-clock
+on the development container; each module's docstring states its own
+expected runtime). Individual experiments accept the same names as
+their modules. ``report`` runs the accountability workload and dumps
 a JSON metrics snapshot next to the figure outputs (see
-:mod:`repro.exp.metrics_report`).
+:mod:`repro.exp.metrics_report`); ``bench`` runs the performance-plane
+suite (:mod:`repro.exp.bench`). ``--profile`` wraps the selected
+experiments in :mod:`cProfile` and writes a pstats dump per experiment
+under ``results/`` alongside a printed top-25 by cumulative time.
 """
 
+import cProfile
+import os
+import pstats
 import sys
 import time
 
-from repro.exp import (ablations, chaos, fig7, fig8, fig9, metrics_report,
-                       microbench, pressure)
+from repro.exp import (ablations, bench, chaos, fig7, fig8, fig9,
+                       metrics_report, microbench, pressure)
 
 
 def _banner(title):
@@ -25,36 +35,43 @@ def _banner(title):
 
 
 def run_table1():
+    """Table 1: VM primitive microbenchmarks."""
     _banner("Table 1 — VM primitive microbenchmarks")
     microbench.main()
 
 
 def run_fig7():
+    """Figure 7: progress while paging in."""
     _banner("Figure 7 — paging in")
     fig7.main()
 
 
 def run_fig8():
+    """Figure 8: progress while paging out (dirty write-back)."""
     _banner("Figure 8 — paging out")
     fig8.main()
 
 
 def run_fig9():
+    """Figure 9: file-system isolation from paging clients."""
     _banner("Figure 9 — file-system isolation")
     fig9.main()
 
 
 def run_ablations():
+    """Ablations: laxity, roll-over, crosstalk, external pager."""
     _banner("Ablations")
     ablations.main()
 
 
 def run_chaos():
+    """Chaos: the Figure-9 workload under a deterministic fault storm."""
     _banner("Chaos — fault storm on the Figure-9 workload")
     chaos.main()
 
 
 def run_pressure():
+    """Pressure: revocation ladder under sustained memory pressure."""
     _banner("Pressure — revocation under memory pressure")
     pressure.main()
 
@@ -70,8 +87,29 @@ RUNNERS = {
 }
 
 
+def _run_profiled(target, out_dir="results"):
+    """Run one experiment under cProfile; dump pstats + print a summary."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "profile_%s.pstats" % target)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        RUNNERS[target]()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print()
+        print("-- cProfile: top 25 by cumulative time (%s) --" % target)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        print("full pstats dump: %s" % path)
+
+
 def main(argv):
+    """Dispatch to experiments/subcommands; returns a process exit code."""
     argv = list(argv)
+    profile = "--profile" in argv
+    if profile:
+        argv = [arg for arg in argv if arg != "--profile"]
     if "--pressure" in argv:
         # `chaos --pressure` selects the memory-pressure chaos scenario.
         argv = [arg for arg in argv if arg != "--pressure"]
@@ -82,6 +120,9 @@ def main(argv):
     if argv and argv[0] == "report":
         _banner("Metrics report")
         return metrics_report.main(argv[1:])
+    if argv and argv[0] == "bench":
+        _banner("Benchmark suite — performance plane")
+        return bench.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)
@@ -92,7 +133,10 @@ def main(argv):
         return 1
     started = time.time()
     for target in targets:
-        RUNNERS[target]()
+        if profile:
+            _run_profiled(target)
+        else:
+            RUNNERS[target]()
     print()
     print("done in %.1f s of wall-clock time." % (time.time() - started))
     return 0

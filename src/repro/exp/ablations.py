@@ -15,6 +15,8 @@
   light, latency-sensitive client behind a shared FIFO pager sees its
   fault latency explode when a greedy client hammers the same pager;
   under per-client USD guarantees it does not.
+
+Expected runtime: ~12 s (`python -m repro.exp ablations`).
 """
 
 from dataclasses import dataclass, replace
@@ -37,6 +39,8 @@ from repro.usd.usd import USD
 
 @dataclass
 class LaxityResult:
+    """Per-client bandwidth with and without the laxity allowance."""
+
     with_laxity: Dict[str, float]      # Mbit/s per client
     without_laxity: Dict[str, float]
 
@@ -61,13 +65,17 @@ def laxity(config=None):
 
 @dataclass
 class RolloverResult:
+    """Guarantee-usage fractions with and without roll-over accounting."""
+
     usage_with: Dict[str, float]      # fraction of guarantee actually used
     usage_without: Dict[str, float]
 
     def exceeds_without(self, name, slop=1.02):
+        """True if the client exceeds its guarantee without roll-over."""
         return self.usage_without[name] > slop
 
     def bounded_with(self, name, slop=1.02):
+        """True if roll-over keeps the client at/below its guarantee."""
         return self.usage_with[name] <= slop
 
 
@@ -106,6 +114,8 @@ def rollover(config=None):
 
 @dataclass
 class CrosstalkPagingResult:
+    """Figure-7 progress ratios and bandwidth under USD vs FCFS."""
+
     usd_ratios: Dict[str, float]
     fcfs_ratios: Dict[str, float]
     usd_bandwidth: Dict[str, float]
@@ -125,15 +135,19 @@ def crosstalk_paging(config=None):
 
 @dataclass
 class CrosstalkFsResult:
+    """Figure-9 results under the USD and the FCFS baseline disk."""
+
     usd: object
     fcfs: object
 
     @property
     def usd_retention(self):
+        """File-system bandwidth retention with USD guarantees."""
         return self.usd.retention
 
     @property
     def fcfs_retention(self):
+        """File-system bandwidth retention on the FCFS baseline."""
         return self.fcfs.retention
 
 
@@ -153,6 +167,8 @@ def crosstalk_fs(config=None):
 
 @dataclass
 class ExternalPagerResult:
+    """Fault latencies seen by a light client under three pager setups."""
+
     solo_latency_ms: float          # light client, no competition
     shared_latency_ms: float        # light client behind a hammered pager
     usd_latency_ms: float           # light client with its own guarantee
@@ -161,6 +177,7 @@ class ExternalPagerResult:
 
     @property
     def degradation(self):
+        """How much worse the shared external pager makes the client."""
         return self.shared_latency_ms / self.solo_latency_ms
 
 
@@ -270,6 +287,7 @@ def external_pager(greedy_clients=3):
 
 
 def main():
+    """Run every ablation and print the comparisons."""
     lax = laxity()
     print("Laxity ablation (Mbit/s):")
     for name in lax.with_laxity:

@@ -13,6 +13,7 @@ costs is charged to that pager, so the verdict mirrors Figure 9's:
   the run is re-executed and the two result payloads compared.
 
 Run it with ``python -m repro.exp chaos`` or ``make chaos``.
+Expected runtime: ~2 s including the reproducibility re-run.
 """
 
 import json
@@ -29,6 +30,8 @@ from repro.system import NemesisSystem
 
 @dataclass(frozen=True)
 class ChaosConfig:
+    """Knobs for the fault storm: rates, scope, and pass tolerance."""
+
     fig9: Fig9Config = Fig9Config(settle_sec=3.0, measure_sec=10.0)
     seed: int = 42
     transient_rate: float = 0.15    # the scenario's floor is 10%
@@ -38,6 +41,8 @@ class ChaosConfig:
 
 @dataclass
 class ChaosResult:
+    """Fault-free vs under-storm bandwidth plus the isolation verdict."""
+
     config: ChaosConfig
     baseline: dict      # domain -> Mbit/s, fault-free run
     storm: dict         # domain -> Mbit/s, under the storm
@@ -46,12 +51,14 @@ class ChaosResult:
     reproducible: bool
 
     def retention(self, name):
+        """Under-storm bandwidth as a fraction of fault-free bandwidth."""
         if not self.baseline[name]:
             return 0.0
         return self.storm[name] / self.baseline[name]
 
     @property
     def bystanders(self):
+        """Every domain except the one whose disk extent is faulty."""
         return [name for name in self.baseline if name != self.victim]
 
     @property
@@ -62,6 +69,7 @@ class ChaosResult:
 
     @property
     def passed(self):
+        """Overall verdict: isolation held and the run reproduced."""
         return self.isolated and self.reproducible
 
 
@@ -135,6 +143,7 @@ def run(config=ChaosConfig()):
 
 
 def format_result(result):
+    """Render a :class:`ChaosResult` as the printed verdict table."""
     rows = []
     for name in result.baseline:
         note = "<- fault storm" if name == result.victim else ""
@@ -156,6 +165,7 @@ def format_result(result):
 
 
 def main():
+    """Run the chaos scenario; exit non-zero if the verdict fails."""
     result = run()
     print(format_result(result))
     if not result.passed:

@@ -43,12 +43,14 @@ class PagingConfig:
     populate_limit_sec: float = 2000.0
 
     def qos(self, slice_ms):
+        """Build the QoS spec for one client's disk guarantee."""
         return QoSSpec(period_ns=self.period_ms * MS,
                        slice_ns=slice_ms * MS,
                        extra=self.slack_eligible,
                        laxity_ns=self.laxity_ms * MS)
 
     def app_name(self, slice_ms):
+        """Name clients by their share, e.g. ``pager-25%``."""
         share = 100 * slice_ms // self.period_ms
         return "pager-%d%%" % share
 
@@ -69,6 +71,7 @@ class PagingResult:
 
     @property
     def names(self):
+        """Client names in guarantee order."""
         return list(self.bandwidth_mbit)
 
 

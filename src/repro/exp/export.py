@@ -12,6 +12,9 @@ writes, per figure:
   (the top plot of Figures 7/8);
 * ``<fig>_trace.csv`` — the USD scheduler events (the bottom plot):
   one row per transaction / lax interval / allocation.
+
+Expected runtime: dominated by the underlying experiment runs,
+~15 s for all three figures.
 """
 
 import csv
@@ -47,6 +50,7 @@ def write_trace_csv(trace, path, start=None, end=None):
 
 
 def write_fig9_csv(result, path):
+    """Write the Figure-9 solo/contended bandwidth rows as CSV."""
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["run", "client", "mbit_per_s"])
@@ -59,6 +63,7 @@ def write_fig9_csv(result, path):
 
 
 def export_paging_figure(module, tag, outdir, config=None):
+    """Run a fig7/fig8-style module and write its bandwidth+trace CSVs."""
     result = module.run(config or small_config())
     written = [
         write_bandwidth_csv(result,
@@ -71,6 +76,7 @@ def export_paging_figure(module, tag, outdir, config=None):
 
 
 def main(argv=None):
+    """CLI: export the requested figure(s) to CSV under a directory."""
     argv = sys.argv[1:] if argv is None else argv
     which = argv[0] if argv else "all"
     outdir = argv[1] if len(argv) > 1 else "results"

@@ -15,6 +15,8 @@ of its guaranteed time."
 This module regenerates both halves of the figure: the sustained
 bandwidth per client (top) and the USD scheduler trace (bottom:
 transactions, lax time, allocations).
+
+Expected runtime: ~12 s at paper scale (`python -m repro.exp fig7`).
 """
 
 from repro.exp.common import PagingConfig, run_paging_experiment
@@ -59,6 +61,7 @@ def format_result(result, trace_window_sec=1.0):
 
 
 def main():
+    """Run Figure 7 at paper scale and print the result table."""
     result = run()
     print(format_result(result))
 

@@ -14,6 +14,8 @@ additional rotational delay ... One may also observe the fact that the
 client with the smallest slice (which is 25ms) tends to complete three
 transactions (totalling more than 25ms) in some periods, but then will
 obtain less time in the following period [roll-over accounting]."
+
+Expected runtime: ~1 s at paper scale (`python -m repro.exp fig8`).
 """
 
 from repro.exp.common import PagingConfig, run_paging_experiment
@@ -64,6 +66,7 @@ def rollover_evidence(result, max_periods=200):
 
 
 def format_result(result, trace_window_sec=1.0):
+    """Render bandwidth table, roll-over evidence, and a trace excerpt."""
     lines = []
     rows = []
     for name in sorted(result.bandwidth_mbit,
@@ -97,6 +100,7 @@ def format_result(result, trace_window_sec=1.0):
 
 
 def main():
+    """Run Figure 8 at paper scale and print the result table."""
     result = run()
     print(format_result(result))
 

@@ -13,6 +13,8 @@ heavily paging applications."
 ``run()`` performs both runs (solo, contended) on identical fresh
 systems and reports both bandwidths plus their ratio. The crosstalk
 ablation reuses this with the FCFS backing to show the contrast.
+
+Expected runtime: ~2 s at paper scale (`python -m repro.exp fig9`).
 """
 
 from dataclasses import dataclass, field
@@ -30,6 +32,8 @@ MB = 1024 * 1024
 
 @dataclass(frozen=True)
 class Fig9Config:
+    """Workload knobs: file-system and pager guarantees, sizes, timing."""
+
     period_ms: int = 250
     fs_slice_ms: int = 125
     fs_depth: int = 16
@@ -44,11 +48,13 @@ class Fig9Config:
     backing: str = "usd"
 
     def fs_qos(self):
+        """Disk guarantee for the file-system client."""
         return QoSSpec(period_ns=self.period_ms * MS,
                        slice_ns=self.fs_slice_ms * MS,
                        extra=False, laxity_ns=self.fs_laxity_ms * MS)
 
     def pager_qos(self, slice_ms):
+        """Disk guarantee for one paging client."""
         return QoSSpec(period_ns=self.period_ms * MS,
                        slice_ns=slice_ms * MS, extra=False,
                        laxity_ns=self.pager_laxity_ms * MS)
@@ -56,6 +62,8 @@ class Fig9Config:
 
 @dataclass
 class Fig9Result:
+    """Solo vs contended file-system bandwidth plus pager throughput."""
+
     config: Fig9Config
     solo_mbit: float
     contended_mbit: float
@@ -105,6 +113,7 @@ def run(config=Fig9Config()):
 
 
 def format_result(result):
+    """Render a :class:`Fig9Result` as the printed comparison table."""
     rows = [("fsclient alone", "%.2f" % result.solo_mbit, ""),
             ("fsclient + 2 pagers", "%.2f" % result.contended_mbit,
              "retention %.1f%%" % (100 * result.retention))]
@@ -115,6 +124,7 @@ def format_result(result):
 
 
 def main():
+    """Run Figure 9 at paper scale and print the result table."""
     result = run()
     print(format_result(result))
 

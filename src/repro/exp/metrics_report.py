@@ -10,6 +10,8 @@ full labelled snapshot, same schema as
 CSVs and prints the per-domain accountability table. The idle domain's
 rows double as a regression check: any non-zero fault or transaction
 count on it is QoS crosstalk.
+
+Expected runtime: ~1 s.
 """
 
 import os
@@ -70,6 +72,7 @@ def accountability_table(snapshot, domains, streams):
 
 
 def write_metrics_json(system, path):
+    """Dump the system's full metrics snapshot as JSON at ``path``."""
     with open(path, "w") as handle:
         handle.write(system.metrics.to_json())
         handle.write("\n")
@@ -77,6 +80,7 @@ def write_metrics_json(system, path):
 
 
 def main(argv=None):
+    """CLI: run the accountability workload, print + dump metrics."""
     argv = sys.argv[1:] if argv is None else argv
     outdir = "results"
     args = list(argv)

@@ -27,6 +27,9 @@ sum of the calibrated primitives they charge (see
 CPU; the rest are measured with the cost meter around the operation.
 The OSF1 column is the paper's own published numbers (OSF1 is not
 reproducible); the paper's Nemesis column is included for comparison.
+
+Expected runtime: well under a second
+(`python -m repro.exp table1`).
 """
 
 import random
@@ -147,10 +150,12 @@ def _bench_prot(npages, route, iterations=200):
 
 
 def bench_prot1(route="pagetable", iterations=200):
+    """Table 1 ``prot1``: protect a single page."""
     return _bench_prot(1, route, iterations)
 
 
 def bench_prot100(route="pagetable", iterations=100):
+    """Table 1 ``prot100``: protect a 100-page region."""
     return _bench_prot(100, route, iterations)
 
 
@@ -275,6 +280,7 @@ class _SlowPathDriver(PhysicalDriver):
     """
 
     def try_fast(self, fault):
+        """Always defer to the worker thread (never resolves inline)."""
         if not self._check_fault(fault):
             return FaultOutcome.FAILURE
         return FaultOutcome.RETRY
@@ -378,6 +384,7 @@ def format_table(result):
 
 
 def main():
+    """Run every Table-1 microbenchmark and print the table."""
     print(format_table(run()))
 
 

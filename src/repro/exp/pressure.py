@@ -28,6 +28,9 @@ The verdict checks the paper's contract under all that pressure:
 
 Run it with ``python -m repro.exp chaos --pressure`` or
 ``make chaos-pressure``.
+
+Expected runtime: ~1 s including the reproducibility re-run
+(`python -m repro.exp chaos --pressure` or `make chaos-pressure`).
 """
 
 import json
@@ -50,6 +53,8 @@ MB = 1024 * 1024
 
 @dataclass(frozen=True)
 class PressureConfig:
+    """Knobs for the pressure scenario: sizes, timing, pass thresholds."""
+
     seed: int = 7
     transient_rate: float = 0.03
     machine_mb: int = 4               # 512 frames of 8 KB: easy to overcommit
@@ -72,18 +77,22 @@ class PressureConfig:
 
 @dataclass
 class PressureResult:
+    """Payloads from both runs plus the scenario's pass/fail verdict."""
+
     config: PressureConfig
     baseline: dict      # full payload, fault-free disk
     storm: dict         # full payload, transient storm on coop swap
     reproducible: bool
 
     def retention(self, name):
+        """Under-storm bandwidth as a fraction of fault-free bandwidth."""
         if not self.baseline["mbit"][name]:
             return 0.0
         return self.storm["mbit"][name] / self.baseline["mbit"][name]
 
     @property
     def coops(self):
+        """Names of the cooperative domains, sorted."""
         return sorted(self.baseline["mbit"])
 
     @property
@@ -96,6 +105,7 @@ class PressureResult:
 
     @property
     def hostile_killed_only(self):
+        """Exactly the hostile domain was killed, in both runs."""
         return all(payload["kills"] == {"hostile": 1}
                    for payload in (self.baseline, self.storm))
 
@@ -107,11 +117,13 @@ class PressureResult:
 
     @property
     def bandwidth_held(self):
+        """Every cooperative domain kept >= the retention floor."""
         return all(self.retention(name) >= self.config.retention_floor
                    for name in self.coops)
 
     @property
     def passed(self):
+        """Overall verdict: all four invariants plus reproducibility."""
         return (self.guarantees_held and self.hostile_killed_only
                 and self.claim_satisfied and self.bandwidth_held
                 and self.reproducible)
@@ -268,6 +280,7 @@ def run(config=PressureConfig()):
 
 
 def format_result(result):
+    """Render a :class:`PressureResult` as the printed verdict table."""
     rows = []
     for name in result.coops:
         rows.append((
@@ -300,6 +313,7 @@ def format_result(result):
 
 
 def main():
+    """Run the pressure scenario; exit non-zero if the verdict fails."""
     result = run()
     print(format_result(result))
     if not result.passed:

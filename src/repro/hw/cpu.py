@@ -103,12 +103,17 @@ class CostMeter:
 
     def __init__(self, model=None):
         self.model = model or CostModel()
+        # The cost table is fixed at construction; charge() reads the
+        # underlying dict directly rather than going through
+        # CostModel.__getitem__ — it is called once per primitive on
+        # every simulated fault, touch and syscall.
+        self._costs = self.model._costs
         self.total_ns = 0
         self.counts = Counter()
 
     def charge(self, name, times=1):
         """Charge ``times`` occurrences of primitive ``name``."""
-        cost = self.model[name]  # KeyError on typo, deliberately
+        cost = self._costs[name]  # KeyError on typo, deliberately
         self.total_ns += cost * times
         self.counts[name] += times
         return cost * times

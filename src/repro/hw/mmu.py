@@ -15,7 +15,6 @@ referenced/dirty is set, and the access proceeds — no fault is
 dispatched to the application.
 """
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
@@ -38,21 +37,35 @@ class FaultCode(Enum):
     PAGE = "page"
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of an MMU access check.
+    """Outcome of an MMU access check (treat as immutable).
 
     ``ok`` accesses carry the translated PFN; faulting accesses carry the
     fault code. ``software_assist`` notes that the access took the
     PALcode DFault path (FOR/FOW bit handling).
+
+    One of these is allocated per simulated memory access, so it is a
+    ``__slots__`` class instead of a frozen dataclass — the dataclass's
+    ``object.__setattr__``-per-field construction showed up in profiles
+    of the Touch hot path.
     """
 
-    ok: bool
-    va: int
-    kind: AccessKind
-    pfn: Optional[int] = None
-    fault: Optional[FaultCode] = None
-    software_assist: bool = False
+    __slots__ = ("ok", "va", "kind", "pfn", "fault", "software_assist")
+
+    def __init__(self, ok, va, kind, pfn=None, fault=None,
+                 software_assist=False):
+        self.ok = ok
+        self.va = va
+        self.kind = kind
+        self.pfn = pfn
+        self.fault = fault
+        self.software_assist = software_assist
+
+    def __repr__(self):
+        return ("AccessResult(ok=%r, va=%#x, kind=%r, pfn=%r, fault=%r, "
+                "software_assist=%r)" % (self.ok, self.va, self.kind,
+                                         self.pfn, self.fault,
+                                         self.software_assist))
 
 
 class MMU:
@@ -70,6 +83,9 @@ class MMU:
         self.meter = meter
         self.tlb = TLB(meter, capacity=tlb_capacity)
         self.assists = 0  # FOR/FOW software-assist count
+        # machine.page_shift is a computed property; cache it so the
+        # per-access VPN extraction is a single shift.
+        self._page_shift = machine.page_shift
 
     def _lookup(self, vpn):
         """TLB-then-page-table translation lookup."""
@@ -87,7 +103,7 @@ class MMU:
         Returns an :class:`AccessResult`; never raises for faults — the
         kernel decides what to do with them (dispatch to the domain).
         """
-        vpn = self.machine.page_of(va)
+        vpn = va >> self._page_shift
         pte = self._lookup(vpn)
         if pte is None:
             return AccessResult(False, va, kind, fault=FaultCode.UNALLOCATED)

@@ -26,6 +26,11 @@ class TLB:
         self.meter = meter
         self.capacity = capacity
         self._entries = OrderedDict()
+        # The key currently at the recency-order tail. Repeated lookups
+        # of the same page (the common pattern in paging loops) skip the
+        # move_to_end bookkeeping; LRU eviction order is unchanged
+        # because the entry is already at the tail.
+        self._mru = None
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -40,7 +45,9 @@ class TLB:
             self.misses += 1
             return None
         self.hits += 1
-        self._entries.move_to_end(vpn)
+        if vpn != self._mru:
+            self._entries.move_to_end(vpn)
+            self._mru = vpn
         return pte
 
     def fill(self, vpn, pte):
@@ -48,6 +55,7 @@ class TLB:
         if vpn in self._entries:
             self._entries.move_to_end(vpn)
         self._entries[vpn] = pte
+        self._mru = vpn
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
@@ -56,12 +64,15 @@ class TLB:
         self.meter.charge("tlb_invalidate")
         self.invalidations += 1
         self._entries.pop(vpn, None)
+        if vpn == self._mru:
+            self._mru = None
 
     def invalidate_all(self):
         """Full flush (charged as a single invalidation, as on Alpha)."""
         self.meter.charge("tlb_invalidate")
         self.invalidations += 1
         self._entries.clear()
+        self._mru = None
 
     @property
     def hit_rate(self):

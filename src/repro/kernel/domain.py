@@ -67,7 +67,10 @@ class Domain:
         self.dead = False
         self.activations = 0
         self.in_activation_handler = False
-        self._wake = sim.event("%s.wake" % self.name)
+        # The wake event is recreated every scheduler round-trip; format
+        # its name once instead of per iteration.
+        self._wake_name = "%s.wake" % self.name
+        self._wake = sim.event(self._wake_name)
         self._last_thread = None
         self._rr_next = 0
         # Bound metrics children: one cell per domain, shared by all of
@@ -153,7 +156,7 @@ class Domain:
             thread = None if has_events else self._runnable_thread()
             if not has_events and thread is None:
                 if self._wake.triggered:
-                    self._wake = sim.event("%s.wake" % self.name)
+                    self._wake = sim.event(self._wake_name)
                     continue
                 yield self._wake
                 continue

@@ -70,11 +70,17 @@ class SpanTracer:
         self._histogram = metrics.histogram(
             "span_ns", buckets=LATENCY_BUCKETS_NS,
             help="span durations by (name, client)")
+        # With no trace attached and a disabled registry a finished span
+        # would go nowhere: hand out the shared null span so fully
+        # disabled observability allocates nothing per measurement.
+        self._off = trace is None and not metrics.enabled
         self.started = 0
         self.finished = 0
 
     def start(self, name, client="", **info):
         """Open a span at the current simulated time."""
+        if self._off:
+            return _NULL_SPAN
         self.started += 1
         return Span(self, name, client, self.sim.now, info)
 

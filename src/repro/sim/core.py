@@ -22,10 +22,17 @@ revocation protocol), failure propagation, and AllOf/AnyOf combinators.
 
 import heapq
 
-from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.metrics import NULL_INSTRUMENT, NULL_REGISTRY
 from repro.sim.units import fmt_time
 
 _PENDING = object()
+
+#: Sentinel marking a heap entry whose callable takes no argument. Heap
+#: entries are ``(time, seq, fn, arg)`` tuples; scheduling with an
+#: explicit ``arg`` lets event callbacks run as ``fn(event)`` without
+#: allocating a closure per waiter (the dominant allocation in the
+#: pre-optimisation profile — see docs/PERFORMANCE.md).
+_NO_ARG = object()
 
 
 class SimulationError(Exception):
@@ -88,35 +95,38 @@ class SimEvent:
 
     def trigger(self, value=None):
         """Mark the event as having occurred, waking all waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event %r triggered twice" % self.name)
         self._value = value
-        self._flush()
+        if self._callbacks:
+            self._flush()
         return self
 
     def fail(self, exception):
         """Mark the event as failed; waiters see the exception raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event %r triggered twice" % self.name)
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._value = exception
         self._is_error = True
-        self._flush()
+        if self._callbacks:
+            self._flush()
         return self
 
     def add_callback(self, fn):
         """Call ``fn(event)`` when the event triggers (immediately if it
         already has). Callbacks run at the simulated time of the trigger."""
-        if self.triggered:
-            self.sim._schedule(0, lambda: fn(self))
+        if self._value is not _PENDING:
+            self.sim._schedule(0, fn, self)
         else:
             self._callbacks.append(fn)
 
     def _flush(self):
         callbacks, self._callbacks = self._callbacks, []
+        schedule = self.sim._schedule
         for fn in callbacks:
-            self.sim._schedule(0, lambda fn=fn: fn(self))
+            schedule(0, fn, self)
 
     def __repr__(self):
         state = "pending"
@@ -134,23 +144,42 @@ class Timeout(SimEvent):
     reply arrived) are cancelled rather than left to fire stale.
     """
 
-    __slots__ = ("delay", "cancelled")
+    __slots__ = ("delay", "cancelled", "_fire_value")
 
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise ValueError("negative timeout: %r" % delay)
-        super().__init__(sim, name="timeout(%s)" % fmt_time(delay))
+        # Field setup and scheduling are inlined (no super().__init__, no
+        # _schedule call) and the human-readable "timeout(5.000ms)" name
+        # is computed lazily in __repr__: timeouts are created once per
+        # simulated sleep, and these calls dominated creation cost.
+        self.sim = sim
+        self.name = "timeout"
+        self._value = _PENDING
+        self._callbacks = []
+        self._is_error = False
         self.delay = delay
         self.cancelled = False
-        sim._schedule(delay, lambda: self._fire(value))
+        self._fire_value = value
+        sim._seq += 1
+        heapq.heappush(sim._heap,
+                       (sim._now + delay, sim._seq, Timeout._fire, self))
 
-    def _fire(self, value):
-        if not self.cancelled and not self.triggered:
-            self.trigger(value)
+    def _fire(self):
+        if not self.cancelled and self._value is _PENDING:
+            self._value = self._fire_value
+            if self._callbacks:
+                self._flush()
 
     def cancel(self):
         """Disarm the timeout; a no-op if it already triggered."""
         self.cancelled = True
+
+    def __repr__(self):
+        state = "pending"
+        if self._value is not _PENDING:
+            state = "failed" if self._is_error else "triggered"
+        return "<Timeout %s %s>" % (fmt_time(self.delay), state)
 
 
 class AllOf(SimEvent):
@@ -223,7 +252,8 @@ class Process(SimEvent):
     :meth:`Simulator.run` — silent process death hides bugs.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_wait_since", "alive", "_defunct_ok")
+    __slots__ = ("_gen", "_waiting_on", "_wait_since", "alive", "_defunct_ok",
+                 "_on_event_cb")
 
     def __init__(self, sim, gen, name=""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
@@ -234,7 +264,13 @@ class Process(SimEvent):
         self._wait_since = 0
         self.alive = True
         self._defunct_ok = False
-        sim._schedule(0, lambda: self._resume(None, None))
+        # One bound method for the process's whole life: creating it per
+        # yield was a measurable share of resume cost.
+        self._on_event_cb = self._on_event
+        sim._schedule(0, Process._start, self)
+
+    def _start(self):
+        self._resume(None, None)
 
     def interrupt(self, cause=None):
         """Throw :class:`Interrupt` into the process at the current time.
@@ -251,11 +287,13 @@ class Process(SimEvent):
         if self._waiting_on is not event:
             return  # stale wakeup after an interrupt
         self._waiting_on = None
-        self.sim._h_wake.observe(self.sim.now - self._wait_since)
-        if event.ok:
-            self._resume(event._value, None)
-        else:
+        sim = self.sim
+        if sim._obs_live:
+            sim._h_wake.observe(sim._now - self._wait_since)
+        if event._is_error:
             self._resume(None, event._value)
+        else:
+            self._resume(event._value, None)
 
     def _resume(self, value, exception):
         if not self.alive:
@@ -293,8 +331,11 @@ class Process(SimEvent):
                 "instances (use sim.timeout() to sleep)" % (self.name, target)
             )
         self._waiting_on = target
-        self._wait_since = self.sim.now
-        target.add_callback(self._on_event)
+        self._wait_since = self.sim._now
+        if target._value is _PENDING:
+            target._callbacks.append(self._on_event_cb)
+        else:
+            target.sim._schedule(0, self._on_event_cb, target)
 
 
 class Simulator:
@@ -309,6 +350,11 @@ class Simulator:
         self._heap = []
         self._seq = 0
         self._process_count = 0
+        #: Total heap entries executed, maintained as a plain int so the
+        #: run loop never pays a metric call per event; flushed into the
+        #: ``sim_events_dispatched_total`` counter after each run.
+        self.events_dispatched = 0
+        self._flushed_dispatched = 0
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._c_dispatched = self.metrics.counter(
             "sim_events_dispatched_total",
@@ -320,17 +366,29 @@ class Simulator:
             "sim_process_wait_ns",
             help="simulated time a process spent waiting on the event it "
                  "yielded, measured at wakeup").child()
+        # Fast-path flag: with a disabled registry every instrument is the
+        # shared null object, so the hot loops skip observability work
+        # entirely instead of making no-op calls.
+        self._obs_live = self._c_dispatched is not NULL_INSTRUMENT
 
     @property
     def now(self):
         """Current simulated time in nanoseconds."""
         return self._now
 
-    def _schedule(self, delay, fn):
+    def _schedule(self, delay, fn, arg=_NO_ARG):
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn))
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, arg))
+
+    def _flush_dispatched(self):
+        """Fold the plain dispatch count into the metrics counter."""
+        if self._obs_live:
+            delta = self.events_dispatched - self._flushed_dispatched
+            if delta:
+                self._flushed_dispatched = self.events_dispatched
+                self._c_dispatched.inc(delta)
 
     def call_at(self, when, fn):
         """Run ``fn()`` at absolute simulated time ``when``."""
@@ -369,14 +427,32 @@ class Simulator:
         if the last executed entry was earlier, so successive ``run``
         calls compose like wall-clock intervals.
         """
-        while self._heap:
-            when, _seq, fn = self._heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = when
-            self._c_dispatched.inc()
-            fn()
+        # The inner loop is the hottest code in the repository: every
+        # simulated event in every experiment passes through it. Heap and
+        # sentinel are bound to locals, the dispatch counter is a plain
+        # integer (flushed to metrics once per run), and entries carry
+        # their argument so no closure is ever allocated per event.
+        heap = self._heap
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        dispatched = 0
+        try:
+            while heap:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
+                    break
+                heappop(heap)
+                self._now = entry[0]
+                dispatched += 1
+                fn = entry[2]
+                arg = entry[3]
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
+        finally:
+            self.events_dispatched += dispatched
+            self._flush_dispatched()
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -386,18 +462,32 @@ class Simulator:
 
         ``limit`` bounds the simulated time as a safety net in tests.
         """
-        while not event.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    "simulation ran out of work before %r triggered" % event
-                )
-            when, _seq, fn = heapq.heappop(self._heap)
-            if limit is not None and when > limit:
-                raise SimulationError(
-                    "simulated time limit %s exceeded waiting for %r"
-                    % (fmt_time(limit), event)
-                )
-            self._now = when
-            self._c_dispatched.inc()
-            fn()
+        heap = self._heap
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        dispatched = 0
+        try:
+            while event._value is _PENDING:
+                if not heap:
+                    raise SimulationError(
+                        "simulation ran out of work before %r triggered"
+                        % event
+                    )
+                entry = heappop(heap)
+                if limit is not None and entry[0] > limit:
+                    raise SimulationError(
+                        "simulated time limit %s exceeded waiting for %r"
+                        % (fmt_time(limit), event)
+                    )
+                self._now = entry[0]
+                dispatched += 1
+                fn = entry[2]
+                arg = entry[3]
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
+        finally:
+            self.events_dispatched += dispatched
+            self._flush_dispatched()
         return event.value

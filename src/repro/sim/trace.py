@@ -10,13 +10,15 @@ Traces are cheap, append-only lists of :class:`TraceEvent`, filterable by
 kind and client and sliceable by time window.
 """
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 
-@dataclass(frozen=True)
 class TraceEvent:
-    """One trace record.
+    """One trace record (treat as immutable once recorded).
+
+    A plain ``__slots__`` class rather than a dataclass: traces on busy
+    runs hold millions of events, and slots cut both the per-event
+    memory and the construction cost roughly in half.
 
     Attributes:
         time: simulated time (ns) at which the event *started*.
@@ -26,15 +28,23 @@ class TraceEvent:
         info: extra payload (request kind, remaining allocation, ...).
     """
 
-    time: int
-    kind: str
-    client: str
-    duration: int = 0
-    info: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "client", "duration", "info")
+
+    def __init__(self, time, kind, client, duration=0, info=None):
+        self.time = time
+        self.kind = kind
+        self.client = client
+        self.duration = duration
+        self.info = {} if info is None else info
 
     @property
     def end(self):
         return self.time + self.duration
+
+    def __repr__(self):
+        return ("TraceEvent(time=%r, kind=%r, client=%r, duration=%r, "
+                "info=%r)" % (self.time, self.kind, self.client,
+                              self.duration, self.info))
 
 
 class Trace:
@@ -46,8 +56,7 @@ class Trace:
 
     def record(self, time, kind, client, duration=0, **info):
         """Append an event; returns it for convenience."""
-        event = TraceEvent(time=time, kind=kind, client=client,
-                           duration=duration, info=info)
+        event = TraceEvent(time, kind, client, duration, info)
         self.events.append(event)
         return event
 
