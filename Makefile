@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
-    lint docs-lint
+    scale scale-smoke lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -42,10 +42,19 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.exp bench --smoke
 
+# Multi-volume USBS scale-out + failure-containment experiment
+# (results/scale.json; gates enforced at full scale). `scale-smoke` is
+# the CI variant: reduced stretches and windows, gates reported only.
+scale:
+	$(PYTHON) -m repro.exp scale
+
+scale-smoke:
+	$(PYTHON) -m repro.exp scale --smoke
+
 lint:
 	$(PYTHON) -m compileall -q src
 
 # Docstring-coverage gate (dependency-free interrogate stand-in).
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
-	    src/repro/exp
+	    src/repro/exp src/repro/usd src/repro/usbs

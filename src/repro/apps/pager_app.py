@@ -39,9 +39,13 @@ class PagingApplication:
     def __init__(self, system, name, qos, mode="read-loop",
                  stretch_bytes=4 * MB, driver_frames=2,
                  swap_bytes=16 * MB, guaranteed_frames=None,
-                 extra_frames=0, watch_period=5 * SEC):
+                 extra_frames=0, watch_period=5 * SEC,
+                 driver_kind="paged", store=None, placement=None,
+                 prefetch_depth=4):
         if mode not in ("read-loop", "write-loop"):
             raise ValueError("mode must be 'read-loop' or 'write-loop'")
+        if driver_kind not in ("paged", "stream"):
+            raise ValueError("driver_kind must be 'paged' or 'stream'")
         self.system = system
         self.name = name
         self.mode = mode
@@ -54,9 +58,20 @@ class PagingApplication:
         self.app = system.new_app(name, guaranteed_frames=frames,
                                   extra_frames=extra_frames)
         self.stretch = self.app.new_stretch(stretch_bytes)
-        self.driver = self.app.paged_driver(
-            frames=driver_frames, swap_bytes=swap_bytes, qos=qos,
-            forgetful=(mode == "write-loop"))
+        if driver_kind == "stream":
+            # The pipelined driver — the one that converts a
+            # multi-volume backing (store="usbs") into aggregate
+            # bandwidth. Forgetfulness is a pure-demand-driver notion,
+            # so mode only controls the loop body here.
+            self.driver = self.app.stream_driver(
+                frames=driver_frames, swap_bytes=swap_bytes, qos=qos,
+                prefetch_depth=prefetch_depth, store=store,
+                placement=placement)
+        else:
+            self.driver = self.app.paged_driver(
+                frames=driver_frames, swap_bytes=swap_bytes, qos=qos,
+                forgetful=(mode == "write-loop"), store=store,
+                placement=placement)
         self.app.bind(self.stretch, self.driver)
         self.page_size = system.machine.page_size
         self._per_page_compute = (system.meter.model["per_byte_touch"]

@@ -4,6 +4,7 @@
     python -m repro.exp chaos --pressure
     python -m repro.exp report --metrics [--out DIR]
     python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
+    python -m repro.exp scale [--smoke] [--out DIR]
     python -m repro.exp --profile [experiment ...]
 
 Without arguments, everything runs at paper scale (~30 s of wall-clock
@@ -12,7 +13,8 @@ expected runtime). Individual experiments accept the same names as
 their modules. ``report`` runs the accountability workload and dumps
 a JSON metrics snapshot next to the figure outputs (see
 :mod:`repro.exp.metrics_report`); ``bench`` runs the performance-plane
-suite (:mod:`repro.exp.bench`). ``--profile`` wraps the selected
+suite (:mod:`repro.exp.bench`); ``scale`` runs the multi-volume USBS
+scale-out and failure-containment experiment (:mod:`repro.exp.scale`). ``--profile`` wraps the selected
 experiments in :mod:`cProfile` and writes a pstats dump per experiment
 under ``results/`` alongside a printed top-25 by cumulative time.
 """
@@ -24,7 +26,7 @@ import sys
 import time
 
 from repro.exp import (ablations, bench, chaos, fig7, fig8, fig9,
-                       metrics_report, microbench, pressure)
+                       metrics_report, microbench, pressure, scale)
 
 
 def _banner(title):
@@ -123,13 +125,17 @@ def main(argv):
     if argv and argv[0] == "bench":
         _banner("Benchmark suite — performance plane")
         return bench.main(argv[1:])
+    if argv and argv[0] == "scale":
+        _banner("Scale — multi-volume USBS scale-out & containment")
+        return scale.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)
     unknown = [t for t in targets if t not in RUNNERS]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
-        print("choose from: %s, all" % ", ".join(RUNNERS))
+        print("choose from: %s, all (also: report, bench, scale)"
+              % ", ".join(RUNNERS))
         return 1
     started = time.time()
     for target in targets:

@@ -18,6 +18,9 @@ Five deterministic benchmarks, macro and micro:
 ``table1``            wall-clock of the Table 1 microbench suite
 ``fig7_scale``        wall-clock + event rate of a scaled-down Figure 7
                       paging run (the heaviest macro workload)
+``usbs_scaleout``     two streaming self-pagers striped across a
+                      four-volume backing store (the multi-volume
+                      USBS data path end to end)
 
 Every benchmark performs a fixed, deterministic number of simulated
 operations (identical on every host and every run), so ops/sec numbers
@@ -69,6 +72,7 @@ _BASELINE_NUMBERS = {
     "usd_pipeline": 5_916,
     "table1": None,        # wall-clock benchmarks: baseline is seconds
     "fig7_scale": None,
+    "usbs_scaleout": None,  # new with the multi-volume USBS: no baseline
 }
 
 # Baseline wall-clock seconds for the macro benchmarks.
@@ -192,6 +196,42 @@ def bench_usd_pipeline(pages=96, passes=2):
     return ops, wall
 
 
+def bench_usbs_scaleout(volumes=4, stretch_kb=512, measure_sec=1.5):
+    """Two streaming self-pagers striped across a multi-volume USBS.
+
+    The multi-volume data path end to end: blok fan-out, per-volume
+    USD scheduling, prefetch pipelining against four spindles. The run
+    populates both stretches through to swap, then streams for
+    ``measure_sec`` of simulated time. ops == the disk transactions
+    performed (pageins + pageouts summed over both domains), which is
+    deterministic for a fixed config — the op-count assertion in
+    :func:`run_benchmark` is the regression net for placement and
+    scheduling determinism.
+    """
+    from repro.apps.pager_app import PagingApplication
+
+    system = NemesisSystem(volumes=volumes, volume_placement="striped")
+    period = 25 * MS
+    apps = []
+    for share in (20, 40):
+        qos = QoSSpec(period_ns=period, slice_ns=share * period // 100,
+                      extra=False, laxity_ns=2 * MS)
+        apps.append(PagingApplication(
+            system, "bench-%d" % share, qos, mode="read-loop",
+            stretch_bytes=stretch_kb * 1024, driver_frames=16,
+            swap_bytes=2 * MB, driver_kind="stream", store="usbs",
+            prefetch_depth=8))
+    start = time.perf_counter()
+    waited = 0
+    while not all(app.populated.triggered for app in apps) and waited < 60:
+        system.run_for(1 * SEC)
+        waited += 1
+    system.run_for(int(measure_sec * SEC))
+    wall = time.perf_counter() - start
+    ops = sum(app.driver.pageins + app.driver.pageouts for app in apps)
+    return ops, wall
+
+
 def bench_table1(iterations=40):
     """Wall-clock of the Table 1 microbench suite at reduced iterations.
 
@@ -246,6 +286,11 @@ SUITE = {
     "fig7_scale": (bench_fig7_scale,
                    {"measure_sec": 3.0},
                    {"measure_sec": 0.5}),
+    "usbs_scaleout": (bench_usbs_scaleout,
+                      {"volumes": 4, "stretch_kb": 512,
+                       "measure_sec": 1.5},
+                      {"volumes": 4, "stretch_kb": 256,
+                       "measure_sec": 0.5}),
 }
 
 #: Benchmarks whose headline number is seconds per run, not ops/sec.

@@ -23,7 +23,7 @@ from repro.apps.fsclient import FileSystemClient
 from repro.apps.pager_app import PagingApplication
 from repro.exp import report
 from repro.exp.fig9 import Fig9Config
-from repro.faults import BAD_BLOCK, TRANSIENT, FaultPlan, FaultRule
+from repro.faults import extent_storm
 from repro.sim.units import SEC
 from repro.system import NemesisSystem
 
@@ -74,12 +74,9 @@ class ChaosResult:
 
 
 def _storm_plan(config, extent):
-    rules = [FaultRule(kind=TRANSIENT, rate=config.transient_rate,
-                       lba_start=extent.start, lba_end=extent.end)]
-    if config.bad_blocks:
-        rules.append(FaultRule(kind=BAD_BLOCK, blocks=tuple(
-            extent.start + index for index in range(config.bad_blocks))))
-    return FaultPlan(seed=config.seed, rules=tuple(rules))
+    return extent_storm(config.seed, extent,
+                        transient_rate=config.transient_rate,
+                        bad_blocks=config.bad_blocks)
 
 
 def _run_once(config, storm):

@@ -1,0 +1,421 @@
+"""The ``scale`` subcommand: the multi-volume USBS scale-out experiment.
+
+Not a figure from the paper: §5.2 describes a *single* User-Safe Disk
+backing the swap filesystem. This experiment asks the question the
+multi-volume backing store exists to answer — does aggregate paging
+bandwidth scale with spindles while each client's per-volume QoS
+contract is still honoured, and does one failing spindle stay one
+spindle's problem?
+
+Three legs, all deterministic under the placement seed:
+
+Leg A (baseline)
+    Three self-paging domains (10/20/40% of a 25 ms period) stream
+    through 1 MB stretches against a **one-volume** backing store.
+    Aggregate bandwidth here is a single disk arm's worth.
+
+Leg B (scale-out)
+    The identical workload against **four volumes, striped**: every
+    backing is sharded blok-round-robin across all spindles, and every
+    shard carries the client's full guarantee on its volume. Gates:
+
+    * aggregate bandwidth >= ``min_scaling`` x leg A (default 3x), and
+    * on every volume, every client's *charged* share — (served +
+      laxity-burned) time over the measurement window, the honest
+      number Atropos accounts — within ``share_tolerance`` (default
+      5%) of its contracted slice/period.
+
+Leg C (failure containment)
+    The workload placed **pinned** (whole backings on single volumes,
+    chosen by a deterministic seeded draw): the 20%-share domain lands
+    alone on one volume, the bystanders share another. A whole-disk
+    transient storm hits the victim volume mid-run. Gates:
+
+    * injected faults appear on the victim volume *only*,
+    * the health monitor degrades the victim and the drain re-places
+      its extents on a healthy volume (no shard stranded),
+    * any bloks lost during the drain belong to the victim's backing
+      *only*, and
+    * bystander bandwidth during the storm window holds at
+      >= ``retention_floor`` (default 95%) of the clean pinned run.
+
+Run it with ``python -m repro.exp scale`` (~4 minutes: five full
+system builds, each populating 384 pages of swap at contracted rates)
+or ``python -m repro.exp scale --smoke`` (reduced stretches and
+windows, ~1 minute, used by CI; smoke reports the same numbers but
+does not enforce the gates — the reduced windows are too short to be
+statistically meaningful). Writes ``scale.json`` to ``--out`` (default
+``results/``); exits non-zero if any gate fails.
+"""
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.apps.pager_app import PagingApplication
+from repro.faults.plan import disk_storm
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+MB = 1024 * 1024
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Everything the three legs share; one object so the report can
+    record exactly what produced the numbers."""
+
+    shares: tuple = (10, 20, 40)     # % of the period, one domain each
+    period_ms: int = 25
+    laxity_ms: int = 2
+    stretch_bytes: int = 1 * MB
+    swap_bytes: int = 2 * MB
+    frames: int = 24
+    prefetch_depth: int = 16
+    volumes: int = 4
+    seed: int = 1999
+    populate_limit_sec: float = 120.0
+    settle_sec: float = 3.0
+    measure_sec: float = 10.0
+    # Leg C: the storm and its gates.
+    storm_rate: float = 0.35
+    storm_sec: float = 2.0
+    drain_limit_sec: float = 60.0
+    # Gates.
+    min_scaling: float = 3.0
+    share_tolerance: float = 0.05
+    retention_floor: float = 0.95
+    smoke: bool = False
+
+
+def smoke_config():
+    """The CI-sized variant: same shape, ~4x less simulated time."""
+    return ScaleConfig(stretch_bytes=MB // 2, swap_bytes=1 * MB,
+                       populate_limit_sec=90.0, settle_sec=1.0,
+                       measure_sec=3.0, storm_sec=1.5,
+                       drain_limit_sec=40.0, smoke=True)
+
+
+# ---------------------------------------------------------------------------
+# Workload construction and measurement
+# ---------------------------------------------------------------------------
+
+def build_workload(config, volumes, placement):
+    """One system + the three streaming self-pagers; returns both."""
+    system = NemesisSystem(volumes=volumes, volume_placement=placement,
+                          volume_seed=config.seed)
+    period = config.period_ms * MS
+    apps = []
+    for share in config.shares:
+        qos = QoSSpec(period_ns=period, slice_ns=share * period // 100,
+                      extra=False, laxity_ns=config.laxity_ms * MS)
+        apps.append(PagingApplication(
+            system, "scale-%d" % share, qos, mode="read-loop",
+            stretch_bytes=config.stretch_bytes,
+            driver_frames=config.frames, swap_bytes=config.swap_bytes,
+            driver_kind="stream", store="usbs",
+            prefetch_depth=config.prefetch_depth))
+    return system, apps
+
+
+def populate(system, apps, config):
+    """Run until every domain has written its stretch through to swap.
+
+    The write pass goes at contracted rates — the 10% domain takes
+    tens of simulated seconds — so the measurement windows must not
+    start before it finishes. Returns the seconds waited; raises if
+    the limit trips (a determinism bug, not a tuning problem).
+    """
+    waited = 0.0
+    while not all(app.populated.triggered for app in apps):
+        if waited >= config.populate_limit_sec:
+            raise RuntimeError(
+                "workload failed to populate within %.0f s (populated: %s)"
+                % (config.populate_limit_sec,
+                   {app.name: app.populated.triggered for app in apps}))
+        system.run_for(1 * SEC)
+        waited += 1.0
+    return waited
+
+
+def measure(system, apps, seconds):
+    """One measurement window: per-app bandwidth and per-volume
+    charged QoS shares.
+
+    Charged share is (served + laxity-burned) nanoseconds over the
+    window — laxity a stream burned waiting is charged as if working,
+    which is exactly how Atropos accounts it and the honest per-volume
+    consumption figure for the contract check.
+    """
+    bytes0 = {app.name: app.bytes_processed for app in apps}
+    charged0 = {}
+    for app in apps:
+        for client in app.driver.swap.attachments():
+            charged0[(app.name, client.usd.name)] = (client.served_ns
+                                                     + client.lax_ns)
+    system.run_for(int(seconds * SEC))
+    window_ns = seconds * SEC
+    bandwidth = {}
+    shares = []
+    for app in apps:
+        delta = app.bytes_processed - bytes0[app.name]
+        bandwidth[app.name] = delta * 8 / 1e6 / seconds
+        for client in app.driver.swap.attachments():
+            key = (app.name, client.usd.name)
+            if key not in charged0:
+                # Attached mid-window (a drain re-placed the shard);
+                # no full-window share exists for it.
+                continue
+            charged = (client.served_ns + client.lax_ns
+                       - charged0[key]) / window_ns
+            contract = client.qos.slice_ns / client.qos.period_ns
+            shares.append({
+                "app": app.name,
+                "volume": client.usd.name,
+                "charged": round(charged, 4),
+                "contract": round(contract, 4),
+                "relative_error": round(abs(charged / contract - 1), 4),
+            })
+    return {
+        "bandwidth_mbit": {k: round(v, 2) for k, v in bandwidth.items()},
+        "aggregate_mbit": round(sum(bandwidth.values()), 2),
+        "volume_shares": shares,
+        "threads_alive": {app.name: not app.main_thread.done.triggered
+                          for app in apps},
+    }
+
+
+def _run_leg(config, volumes, placement):
+    """Build, populate, settle, measure once; returns the leg dict."""
+    system, apps = build_workload(config, volumes, placement)
+    populated_sec = populate(system, apps, config)
+    system.run_for(int(config.settle_sec * SEC))
+    result = measure(system, apps, config.measure_sec)
+    result["volumes"] = volumes
+    result["placement"] = placement
+    result["populate_sec"] = populated_sec
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Legs A + B: scale-out
+# ---------------------------------------------------------------------------
+
+def run_scaling(config):
+    """Leg A (one volume) vs leg B (striped across all volumes)."""
+    leg_a = _run_leg(config, 1, "striped")
+    leg_b = _run_leg(config, config.volumes, "striped")
+    scaling = (leg_b["aggregate_mbit"] / leg_a["aggregate_mbit"]
+               if leg_a["aggregate_mbit"] else 0.0)
+    worst = max((row["relative_error"] for row in leg_b["volume_shares"]),
+                default=0.0)
+    return {
+        "one_volume": leg_a,
+        "striped": leg_b,
+        "scaling": round(scaling, 2),
+        "worst_share_error": worst,
+        "gates": {
+            "scaling": scaling >= config.min_scaling,
+            "qos_shares": worst <= config.share_tolerance,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Leg C: pinned placement under a disk storm
+# ---------------------------------------------------------------------------
+
+def run_failover(config):
+    """Clean pinned run, then the same run with a storm on the volume
+    the seeded draw pinned the middle domain to."""
+    clean_system, clean_apps = build_workload(config, config.volumes,
+                                             "pinned")
+    populate(clean_system, clean_apps, config)
+    clean_system.run_for(int(config.settle_sec * SEC))
+    clean = measure(clean_system, clean_apps, config.measure_sec)
+
+    system, apps = build_workload(config, config.volumes, "pinned")
+    manager = system.usbs
+    # Pinned backings occupy exactly one slot; the victim is whichever
+    # volume the seeded draw gave the middle domain, and containment is
+    # only a meaningful claim if the bystanders sit elsewhere.
+    victim_app = apps[1]
+    victim = victim_app.driver.swap.slots[0].volume
+    bystanders = [app for app in apps if app is not victim_app]
+    assert all(app.driver.swap.slots[0].volume is not victim
+               for app in bystanders), \
+        "placement draw put a bystander on the victim volume"
+    populate(system, apps, config)
+    system.run_for(int(config.settle_sec * SEC))
+    storm_start = system.sim.now
+    manager.install_fault_plan(
+        victim.index,
+        disk_storm(config.seed, config.storm_rate, start_ns=storm_start,
+                   end_ns=storm_start + int(config.storm_sec * SEC)))
+    storm = measure(system, apps, config.measure_sec)
+    waited = 0.0
+    while manager.drains_done < 1 and waited < config.drain_limit_sec:
+        system.run_for(1 * SEC)
+        waited += 1.0
+
+    exposure = manager.fault_exposure_by_volume()
+    leaked = {name: count for name, count in exposure.items()
+              if name != victim.name and count}
+    retention = {}
+    for app in bystanders:
+        before = clean["bandwidth_mbit"][app.name]
+        during = storm["bandwidth_mbit"][app.name]
+        retention[app.name] = round(during / before, 4) if before else 0.0
+    lost_elsewhere = {app.name: len(app.driver.swap.lost)
+                      for app in bystanders if app.driver.swap.lost}
+    relocated = victim_app.driver.swap.slots[0].volume
+    return {
+        "victim_volume": victim.name,
+        "clean": clean,
+        "storm": storm,
+        "exposure_by_volume": exposure,
+        "victim_state": victim.state,
+        "drains_done": manager.drains_done,
+        "stranded": list(manager.stranded),
+        "relocated_to": relocated.name,
+        "victim_bloks_lost": len(victim_app.driver.swap.lost),
+        "bystander_retention": retention,
+        "gates": {
+            "exposure_contained": not leaked,
+            "degraded_and_drained": (not victim.healthy
+                                     and manager.drains_done >= 1
+                                     and not manager.stranded
+                                     and relocated is not victim),
+            "losses_contained": not lost_elsewhere,
+            "bystanders_retained": all(
+                value >= config.retention_floor
+                for value in retention.values()),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+def run(config):
+    """All three legs; returns the schema-versioned payload."""
+    scaling = run_scaling(config)
+    failover = run_failover(config)
+    gates = {}
+    gates.update(scaling["gates"])
+    gates.update(failover["gates"])
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "shares": list(config.shares),
+            "period_ms": config.period_ms,
+            "stretch_bytes": config.stretch_bytes,
+            "volumes": config.volumes,
+            "seed": config.seed,
+            "measure_sec": config.measure_sec,
+            "storm_rate": config.storm_rate,
+            "scale": "smoke" if config.smoke else "full",
+        },
+        "scaling": scaling,
+        "failover": failover,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+def format_result(payload, config):
+    """Human-readable tables for one payload."""
+    from repro.exp import report
+
+    scaling = payload["scaling"]
+    rows = []
+    for key, label in (("one_volume", "A: 1 volume"),
+                       ("striped", "B: %d volumes striped"
+                        % config.volumes)):
+        leg = scaling[key]
+        rows.append((label, "%.2f" % leg["aggregate_mbit"],
+                     " ".join("%s=%.2f" % (name, mbit) for name, mbit
+                              in sorted(leg["bandwidth_mbit"].items()))))
+    lines = [report.table(
+        ["leg", "aggregate Mbit/s", "per domain"], rows,
+        title="Scale-out: aggregate paging bandwidth")]
+    lines.append("")
+    lines.append("scaling %.2fx (gate >= %.1fx)  worst per-volume share "
+                 "error %.1f%% (gate <= %.0f%%)"
+                 % (scaling["scaling"], config.min_scaling,
+                    scaling["worst_share_error"] * 100,
+                    config.share_tolerance * 100))
+    failover = payload["failover"]
+    rows = [(name,
+             "%.2f" % failover["clean"]["bandwidth_mbit"][name],
+             "%.2f" % failover["storm"]["bandwidth_mbit"][name],
+             "%.1f%%" % (ratio * 100))
+            for name, ratio in sorted(
+                failover["bystander_retention"].items())]
+    lines.append("")
+    lines.append(report.table(
+        ["bystander", "clean Mbit/s", "storm Mbit/s", "retention"],
+        rows,
+        title="Failure containment: storm on %s (victim of %s)"
+        % (failover["victim_volume"], "scale-%d" % config.shares[1])))
+    lines.append("")
+    lines.append("victim %s -> %s, state %s, drains %d, bloks lost %d, "
+                 "exposure %s"
+                 % (failover["victim_volume"], failover["relocated_to"],
+                    failover["victim_state"], failover["drains_done"],
+                    failover["victim_bloks_lost"],
+                    failover["exposure_by_volume"]))
+    lines.append("")
+    gate_line = "  ".join("%s=%s" % (name, "PASS" if ok else "FAIL")
+                          for name, ok in sorted(payload["gates"].items()))
+    if config.smoke:
+        lines.append("gates (reported, not enforced at smoke scale): "
+                     + gate_line)
+    else:
+        lines.append("gates: " + gate_line)
+    return "\n".join(lines)
+
+
+def write_payload(payload, out_dir="results"):
+    """Write ``scale.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "scale.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main(argv=None):
+    """CLI: run the legs, print the tables, write ``scale.json``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    if smoke:
+        argv.remove("--smoke")
+    out_dir = "results"
+    if "--out" in argv:
+        index = argv.index("--out")
+        out_dir = argv[index + 1]
+        del argv[index:index + 2]
+    if argv:
+        print("unknown scale argument(s): %s" % " ".join(argv))
+        return 1
+    config = smoke_config() if smoke else ScaleConfig()
+    payload = run(config)
+    print(format_result(payload, config))
+    path = write_payload(payload, out_dir=out_dir)
+    print()
+    print("wrote %s" % path)
+    if not payload["passed"] and not config.smoke:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

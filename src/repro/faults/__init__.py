@@ -26,6 +26,8 @@ from repro.faults.plan import (
     FaultInjector,
     FaultPlan,
     FaultRule,
+    disk_storm,
+    extent_storm,
 )
 
 __all__ = [
@@ -34,5 +36,5 @@ __all__ = [
     "REVOKE_SLOW", "STATUS_IO_ERROR", "STATUS_OK", "STATUS_TIMEOUT",
     "STUCK", "TRANSIENT", "BehaviorDecision", "BehaviorInjector",
     "BehaviorPlan", "BehaviorRule", "FaultDecision", "FaultInjector",
-    "FaultPlan", "FaultRule",
+    "FaultPlan", "FaultRule", "disk_storm", "extent_storm",
 ]

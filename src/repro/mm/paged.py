@@ -26,9 +26,10 @@ during a page fault" — every fault demand-zeroes, every eviction
 writes.
 """
 
+from repro.hw.disk import READ, WRITE
 from repro.kernel.threads import Compute, Wait
 from repro.mm.sdriver import FaultOutcome, FaultTimeout, StretchDriver
-from repro.usd.usd import TransactionFailed
+from repro.usd.usd import BlokLostError, TransactionFailed
 
 
 class SwapFullError(Exception):
@@ -64,6 +65,21 @@ class PagedDriver(StretchDriver):
         # EWMA-free estimate of one clean (evict+write) for the
         # deadline-aware revocation leg: the duration of the last one.
         self._clean_cost_ns = 0
+
+    # -- stream selection ---------------------------------------------------
+
+    def _swap_slot(self, blok, kind):
+        """Flow-control event for an access to ``blok``.
+
+        Multi-volume backings route bloks to per-volume streams, so the
+        right gate depends on which blok (and which direction) is about
+        to move — ``slot_for`` asks the backing. Single-stream swap
+        files (and the stubs tests use) fall back to the one channel.
+        """
+        slot_for = getattr(self.swap, "slot_for", None)
+        if slot_for is not None:
+            return slot_for(blok, kind)
+        return self.swap.channel.slot()
 
     # -- policy hooks (overridden by the forgetful variant) ------------------
 
@@ -129,11 +145,12 @@ class PagedDriver(StretchDriver):
         if self._has_disk_copy(vpn):
             blok = self._on_disk[vpn]
             try:
-                yield Wait(self.swap.channel.slot())
+                yield Wait(self._swap_slot(blok, READ))
                 yield Wait(self.swap.read(blok))
-            except TransactionFailed:
+            except (TransactionFailed, BlokLostError):
                 # Persistent read failure: the only copy of this page
-                # sat on a bad block. Contain the loss — retire the
+                # sat on a bad block (or on a volume that failed before
+                # the drain reached it). Contain the loss — retire the
                 # blok, mark just this page unrecoverable, give the
                 # frame back — and fail the fault (the MMEntry kills
                 # only the faulting thread).
@@ -223,7 +240,7 @@ class PagedDriver(StretchDriver):
             if must_write:
                 blok = self._assign_blok(vpn)
                 try:
-                    yield Wait(self.swap.channel.slot())
+                    yield Wait(self._swap_slot(blok, WRITE))
                     yield Wait(self.swap.write(blok))
                 except TransactionFailed:
                     self.note_io_failure()

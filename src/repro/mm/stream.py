@@ -33,6 +33,7 @@ from collections import deque
 from repro.kernel.threads import Wait
 from repro.sim.units import MS
 from repro.mm.paged import PagedDriver
+from repro.usd.usd import BlokLostError, TransactionFailed
 
 
 class StreamPagedDriver(PagedDriver):
@@ -65,14 +66,20 @@ class StreamPagedDriver(PagedDriver):
     # -- pattern detection -------------------------------------------------
 
     def _note_fault(self, vpn):
-        """Stride detection that survives prefetch hits.
+        """Stride detection that survives prefetch hits and stragglers.
 
         A sequential stream whose intermediate pages were mapped ahead
-        of access faults next at the first page *past* the prefetch
-        window, not at last+1 — both count as continuing the run.
+        of access faults next wherever the pipeline *missed*: at
+        last+1, at the first page past the prefetch window, or — over a
+        striped multi-volume backing, where one volume's reads can lag
+        a period behind its neighbours' — a few pages forward of the
+        last fault. Any forward fault within the prefetch window
+        continues the run; only a jump or a reversal resets it.
         """
+        window = max(1, self.prefetch_depth)
         sequential = (self._last_fault_vpn is not None
-                      and vpn == self._last_fault_vpn + 1)
+                      and self._last_fault_vpn
+                      < vpn <= self._last_fault_vpn + window)
         if self._next_expected is not None:
             sequential = sequential or vpn == self._next_expected
         if sequential:
@@ -136,6 +143,14 @@ class StreamPagedDriver(PagedDriver):
         the worker extends the window itself whenever the inventory of
         unconsumed speculative pages drops below the pipeline depth —
         bounded speculation that tracks the consumer's pace.
+
+        The stretch is chased as a *ring*: at the top the frontier
+        wraps to the base. A consumer that loops over its stretch (the
+        paper's own experiment workload) would otherwise drain the
+        pipeline at every wraparound, letting the USD streams run
+        workless past their laxity and get idle-marked until their next
+        periodic allocation — a whole-period stall per volume per loop.
+        A consumer that never loops wastes at most one window of reads.
         """
         if self._sequential_run < 1 or self._frontier is None:
             return
@@ -146,9 +161,13 @@ class StreamPagedDriver(PagedDriver):
         # _prefetching covers both queued and in-flight pages.
         budget = (self.prefetch_depth - self._speculation_inventory()
                   - len(self._prefetching))
-        while budget > 0 and self._frontier + 1 < limit:
+        scanned = 0
+        while budget > 0 and scanned < stretch.npages:
             ahead = self._frontier + 1
+            if ahead >= limit:
+                ahead = stretch.base_vpn
             self._frontier = ahead
+            scanned += 1
             pte = self.translation.pagetable.peek(ahead)
             if pte is not None and pte.mapped:
                 continue
@@ -170,7 +189,8 @@ class StreamPagedDriver(PagedDriver):
         vpn = self.machine.page_of(fault.va)
         self._note_fault(vpn)
         if vpn in self._prefetching:
-            # The page is on its way: let the worker path rendezvous.
+            # The page is on its way (or queued): let the worker path
+            # rendezvous or cancel, as appropriate.
             from repro.mm.sdriver import FaultOutcome
 
             return FaultOutcome.RETRY
@@ -180,6 +200,14 @@ class StreamPagedDriver(PagedDriver):
 
     def handle_slow(self, fault):
         vpn = self.machine.page_of(fault.va)
+        if vpn in self._prefetch_queue:
+            # Demand caught up with a guess the worker has not issued
+            # yet (it may never be able to — the claimable-frames gate can keep a
+            # queued guess parked indefinitely). Cancel it and read on
+            # the demand path rather than waiting on a read that is not
+            # in flight.
+            self._prefetch_queue.remove(vpn)
+            self._finish(vpn)
         pending = self._prefetching.get(vpn)
         if pending is not None:
             # Wait for the in-flight prefetch instead of re-reading.
@@ -194,7 +222,15 @@ class StreamPagedDriver(PagedDriver):
     def _claim_frame(self):
         """A frame for speculation: pool first, else drop a *clean*
         resident page (never pay a write for a guess). Returns a PFN or
-        None."""
+        None.
+
+        Pages mapped ahead of demand and not yet referenced are never
+        stolen: eating unconsumed speculation to fuel more speculation
+        re-reads the same pages over and over — every consumed page
+        would cost several disk reads. When only unconsumed guesses
+        remain, the guess is dropped instead, which throttles the
+        pipeline to the consumer's pace.
+        """
         pfn = self._pop_free()
         if pfn is not None:
             return pfn
@@ -202,20 +238,52 @@ class StreamPagedDriver(PagedDriver):
             pte = self.translation.pagetable.peek(vpn)
             if pte is None or not pte.mapped:
                 continue
+            if vpn in self._speculative and not pte.referenced:
+                continue
             if not pte.dirty and self._has_disk_copy(vpn):
                 del self._resident[index]
                 pfn, _dirty = self._unmap_page(vpn)
                 return pfn
         return None
 
+    def _claimable_frames(self):
+        """Frames :meth:`_claim_frame` could obtain right now: the free
+        pool plus clean, consumed, disk-backed resident pages. When this
+        runs low — every frame dirty (a write pass), or holding
+        unconsumed guesses — issuing more speculation only buys reads
+        whose completions will be wasted."""
+        count = len(self._free)
+        for vpn in self._resident:
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is None or not pte.mapped:
+                continue
+            if vpn in self._speculative and not pte.referenced:
+                continue
+            if not pte.dirty and self._has_disk_copy(vpn):
+                count += 1
+        return count
+
     def _issue_ready(self, inflight):
-        """Start reads for queued prefetches, up to the pipeline depth."""
+        """Start reads for queued prefetches, up to the pipeline depth.
+
+        Frames are claimed when a read *completes*, not when it is
+        issued: an in-flight guess must never hold a frame hostage, so
+        the pool plus the resident set always accounts for every frame
+        and a burst of speculation cannot starve the demand path. The
+        claimable check below only stops the worker issuing reads whose
+        completions would find no cheap frame and be wasted.
+        """
         # Cap speculation below the channel depth so the demand path
         # always has a slot (rbufs flow control must not let guesses
-        # starve real faults).
+        # starve real faults). Over a multi-volume backing the cap is
+        # aggregate; the per-blok ``can_accept`` check below does the
+        # stream selection, so one volume's full pipe stalls only the
+        # reads bound for that volume.
+        can_accept = getattr(self.swap, "can_accept", None)
         cap = min(self.prefetch_depth, self.swap.channel.depth - 1)
         while (self._prefetch_queue
                and len(inflight) < cap
+               and self._claimable_frames() > 2
                and self.swap.channel.outstanding < self.swap.channel.depth - 1):
             vpn = self._prefetch_queue.popleft()
             pte = self.translation.pagetable.peek(vpn)
@@ -223,13 +291,17 @@ class StreamPagedDriver(PagedDriver):
                     or not self._has_disk_copy(vpn)):
                 self._finish(vpn)
                 continue
-            pfn = self._claim_frame()
-            if pfn is None:
-                self._finish(vpn)   # no cheap frame: drop the guess
-                continue
-            done = self.swap.read(self._on_disk[vpn])
+            blok = self._on_disk[vpn]
+            if can_accept is not None and not can_accept(blok):
+                # The target stream's pipe is full: put the guess back
+                # and retry when a completion frees a slot. Sequential
+                # bloks stripe across volumes, so the head of the queue
+                # blocking means the next completion is close.
+                self._prefetch_queue.appendleft(vpn)
+                break
+            done = self.swap.read(blok)
             self.prefetches_issued += 1
-            inflight.append((vpn, pfn, done))
+            inflight.append((vpn, done))
 
     def _prefetch_worker(self):
         sim = self.domain.sim
@@ -240,6 +312,10 @@ class StreamPagedDriver(PagedDriver):
             if not inflight:
                 self._chase()
                 if self._prefetch_queue:
+                    # Queued work it could not issue (claimable frames or
+                    # channel capacity) and nothing in flight to wait
+                    # on: poll until the demand path frees something.
+                    yield Wait(sim.timeout(1 * MS))
                     continue
                 if (self._sequential_run >= 1 and self._speculative
                         and idle_polls < 50):
@@ -258,20 +334,34 @@ class StreamPagedDriver(PagedDriver):
                 yield Wait(self._wake)
                 continue
             idle_polls = 0
-            vpn, pfn, done = inflight.popleft()
-            yield Wait(done)
-            self.pageins += 1
+            vpn, done = inflight.popleft()
+            try:
+                yield Wait(done)
+            except (TransactionFailed, BlokLostError):
+                # A speculative read hit a bad block (or a blok lost
+                # with a failed volume): drop the guess and keep the
+                # worker alive. Containment — retiring the blok,
+                # killing the faulting thread — belongs to the demand
+                # path, and only if the page is ever actually touched.
+                self.prefetch_wasted += 1
+                self._finish(vpn)
+                continue
             pte = self.translation.pagetable.peek(vpn)
             if pte is not None and pte.mapped:
                 # Lost the race to the demand path after all.
-                self._free.append(pfn)
                 self.prefetch_wasted += 1
             else:
-                self._note_paged_in(vpn)
-                self._map_page(self.machine.page_base(vpn), pfn)
-                self._resident.append(vpn)
-                self._speculative.add(vpn)
-                self.prefetch_mapped += 1
+                pfn = self._claim_frame()
+                if pfn is None:
+                    # No frame the guess may cheaply take: wasted read.
+                    self.prefetch_wasted += 1
+                else:
+                    self.pageins += 1
+                    self._note_paged_in(vpn)
+                    self._map_page(self.machine.page_base(vpn), pfn)
+                    self._resident.append(vpn)
+                    self._speculative.add(vpn)
+                    self.prefetch_mapped += 1
             self._finish(vpn)
             # Keep the stream window ahead of consumption even when the
             # pipeline has swallowed all the faults.

@@ -101,17 +101,39 @@ class App:
         self.drivers.append(driver)
         return driver
 
+    def _create_swap(self, name, swap_bytes, qos, depth, store, placement):
+        """Allocate backing for a paged driver from the chosen store.
+
+        ``store=None``/``"sfs"`` is the paper's single-disk SFS;
+        ``"usbs"`` places a sharded backing through the system's
+        :class:`~repro.usbs.manager.VolumeManager` (the system must
+        have been built with ``volumes >= 1``), with ``placement``
+        selecting striped/pinned (None: the manager's default).
+        """
+        if store in (None, "sfs"):
+            return self.system.sfs.create_swapfile(name, swap_bytes, qos,
+                                                   depth=depth)
+        if store == "usbs":
+            if self.system.usbs is None:
+                raise ValueError(
+                    "store='usbs' needs NemesisSystem(volumes=N >= 1)")
+            return self.system.usbs.create_backing(
+                name, swap_bytes, qos, placement=placement, depth=depth)
+        raise ValueError("store must be None, 'sfs' or 'usbs'")
+
     def paged_driver(self, frames, swap_bytes, qos, forgetful=False,
-                     name=None, depth=2, policy="fifo"):
+                     name=None, depth=2, policy="fifo", store=None,
+                     placement=None):
         """A paged driver with its own swap file (QoS negotiated now).
 
         ``policy`` selects the eviction policy: ``"fifo"`` (the paper's
         pure demand scheme) or ``"clock"`` (second-chance via the
-        referenced bits).
+        referenced bits). ``store``/``placement`` select the backing
+        store (see :meth:`_create_swap`).
         """
         name = name or "%s-paged" % self.name
-        swap = self.system.sfs.create_swapfile(name, swap_bytes, qos,
-                                               depth=depth)
+        swap = self._create_swap(name, swap_bytes, qos, depth, store,
+                                 placement)
         if forgetful:
             cls = ForgetfulPagedDriver
         elif policy == "clock":
@@ -130,15 +152,18 @@ class App:
         return driver
 
     def stream_driver(self, frames, swap_bytes, qos, prefetch_depth=4,
-                      name=None):
+                      name=None, store=None, placement=None):
         """A stream-paging driver (the paper's §8 pipelining extension):
         a paged driver that detects sequential faults and prefetches
-        ahead through a deeper IO channel."""
+        ahead through a deeper IO channel. Over a multi-volume backing
+        (``store="usbs"``) the pipeline is what converts volume count
+        into bandwidth: sequential bloks stripe round-robin, so depth-V
+        read-ahead keeps V spindles busy at once."""
         from repro.mm.stream import StreamPagedDriver
 
         name = name or "%s-stream" % self.name
-        swap = self.system.sfs.create_swapfile(name, swap_bytes, qos,
-                                               depth=prefetch_depth + 2)
+        swap = self._create_swap(name, swap_bytes, qos,
+                                 prefetch_depth + 2, store, placement)
         driver = StreamPagedDriver(name, self.domain, self.frames,
                                    self.system.translation, swap,
                                    prefetch_depth=prefetch_depth)
@@ -193,12 +218,20 @@ class App:
         self.stretches.clear()
         for driver in self.drivers:
             swap = getattr(driver, "swap", None)
-            if swap is not None:
-                client = swap.channel.usd_client
-                if client in system.usd.clients:
+            if swap is None:
+                continue
+            attachments = getattr(swap, "attachments", None)
+            clients = (attachments() if attachments is not None
+                       else [swap.channel.usd_client])
+            for client in clients:
+                # A multi-volume swap spans several USDs; each client
+                # records the service it was admitted to. Single-disk
+                # clients fall back to the system USD.
+                service = getattr(client, "usd", None) or system.usd
+                if client in service.clients:
                     # The domain is dead: nobody will collect queued
                     # completions, so discard them (their events fail).
-                    system.usd.depart(client, discard=True)
+                    service.depart(client, discard=True)
         if self in system.apps:
             system.apps.remove(self)
 
@@ -215,7 +248,9 @@ class NemesisSystem:
                  swap_partition=(262144, 2_097_152),
                  fs_partition=(3_500_000, 786_432), metrics=True,
                  fault_plan=None, behavior_plan=None,
-                 fault_timeout=30 * SEC):
+                 fault_timeout=30 * SEC, volumes=0,
+                 volume_placement="striped", volume_seed=1999,
+                 volume_geometry=None, volume_monitor=True):
         # Observability first: every subsystem below takes the registry.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.sim = Simulator(metrics=self.metrics)
@@ -282,6 +317,21 @@ class NemesisSystem:
 
         self.filesystem = FileSystem(self.sim, self.usd, machine,
                                      self.fs_partition)
+        # Multi-volume backing store: N extra disks, each behind its
+        # own USD in its own driver domain, pooled by a VolumeManager
+        # (drivers opt in with store="usbs"). The system disk above
+        # stays dedicated to the single-disk SFS and the filesystem.
+        self.usbs = None
+        if volumes:
+            from repro.usbs import VolumeManager
+
+            self.usbs = VolumeManager(
+                self.sim, machine, volumes,
+                geometry=volume_geometry or geometry,
+                placement=volume_placement, seed=volume_seed,
+                metrics=self.metrics, spans=self.spans,
+                trace=self.usd_trace, rollover=rollover,
+                slack_enabled=slack_enabled, monitor=volume_monitor)
         self.apps = []
         if behavior_plan is not None:
             self.install_behavior_plan(behavior_plan)

@@ -38,6 +38,7 @@ class File:
 
     @property
     def nbytes(self):
+        """Total file size in bytes (whole bloks)."""
         return self.nbloks * self.machine.page_size
 
     def _lba(self, index):

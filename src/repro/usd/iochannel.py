@@ -29,6 +29,7 @@ class IOChannel:
 
     @property
     def can_submit(self):
+        """True while the channel has a free slot."""
         return self.outstanding < self.depth
 
     def submit(self, request: DiskRequest):

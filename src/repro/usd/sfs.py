@@ -46,6 +46,7 @@ class Extent:
 
     @property
     def end(self):
+        """One past the last block of the extent."""
         return self.start + self.nblocks
 
     def __repr__(self):
@@ -62,9 +63,11 @@ class Partition:
 
     @property
     def free_blocks(self):
+        """Blocks not yet handed out by the bump allocator."""
         return self.extent.end - self._cursor
 
     def allocate_extent(self, nblocks):
+        """Carve ``nblocks`` off the partition; raises when it cannot."""
         if nblocks <= 0:
             raise ExtentError("extent must be positive")
         if self._cursor + nblocks > self.extent.end:
@@ -112,7 +115,29 @@ class SwapFile:
 
     @property
     def spares_left(self):
+        """Spare-region bloks still available for remapping."""
         return self.spare_bloks - self.spares_used
+
+    # -- stream selection (shared surface with MultiVolumeSwap) -----------
+
+    def slot_for(self, blok, kind=READ):
+        """The flow-control event gating an access to ``blok``.
+
+        A single-volume swap file has one stream, so every blok gates
+        on the same channel; the multi-volume backing overrides this
+        with per-shard selection. The paged drivers call this instead
+        of touching ``channel`` directly.
+        """
+        return self.channel.slot()
+
+    def can_accept(self, blok, kind=READ, reserve=1):
+        """True when a speculative access to ``blok`` may be submitted
+        while keeping ``reserve`` channel slots free for demand."""
+        return self.channel.outstanding < self.channel.depth - reserve
+
+    def attachments(self):
+        """The USD streams this swap file holds (teardown inventory)."""
+        return [self.channel.usd_client]
 
     def _lba(self, blok):
         if not 0 <= blok < self.nbloks:

@@ -54,6 +54,7 @@ class RetryPolicy:
     deadline_ns: Optional[int] = None
 
     def backoff_for(self, attempt):
+        """Exponential backoff before retry ``attempt``, capped."""
         return min(self.backoff_ns << (attempt - 1), self.backoff_cap_ns)
 
 
@@ -76,6 +77,17 @@ class TransactionFailed(Exception):
         self.result = result
         self.attempts = attempts
         self.client = client
+
+
+class BlokLostError(Exception):
+    """The backing store no longer holds any copy of this blok.
+
+    Raised (by failing the completion event) when a read targets a blok
+    whose only copy sat on a volume that failed before the drain could
+    migrate it — the multi-volume analogue of a persistent medium error.
+    The paged driver contains it exactly like a persistent read failure:
+    the page is marked unrecoverable, only its faulting thread dies.
+    """
 
 
 class USDClient:
@@ -106,6 +118,7 @@ class USDClient:
 
     @property
     def qos(self):
+        """The (p, s, x, l) guarantee this stream was admitted under."""
         return self._sched_client.qos
 
     def submit(self, request: DiskRequest):
@@ -155,19 +168,23 @@ class USDClient:
 
     @property
     def pending(self):
+        """Transactions queued or in service on the scheduler side."""
         return self._sched_client.pending
 
     # Expose the accounting for tests and traces.
     @property
     def served_ns(self):
+        """Disk time actually consumed by this stream (monotonic)."""
         return self._sched_client.served_ns
 
     @property
     def lax_ns(self):
+        """Laxity burned waiting with work queued — charged as served."""
         return self._sched_client.lax_ns
 
     @property
     def remaining(self):
+        """Slice nanoseconds left in the current period."""
         return self._sched_client.remaining
 
 
@@ -175,13 +192,17 @@ class USD:
     """The user-safe disk: admission + the Atropos-scheduled drive."""
 
     def __init__(self, sim, disk, trace=None, rollover=True,
-                 slack_enabled=True, metrics=None, retry=None):
+                 slack_enabled=True, metrics=None, retry=None, name="usd"):
         self.sim = sim
         self.disk = disk
         self.trace = trace
+        self.name = name
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.retry = retry if retry is not None else RetryPolicy()
-        self.sched = AtroposScheduler(sim, name="usd", trace=trace,
+        # ``name`` keeps multi-volume deployments separable: each
+        # volume's scheduler exports metrics/trace records under its own
+        # sched label (e.g. ``usd-vol2``).
+        self.sched = AtroposScheduler(sim, name=name, trace=trace,
                                       rollover=rollover,
                                       slack_enabled=slack_enabled,
                                       metrics=self.metrics)

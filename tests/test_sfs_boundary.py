@@ -1,0 +1,114 @@
+"""Extent accounting at the exactly-full boundary of the SFS.
+
+The multi-volume manager sizes per-volume shards by dividing a backing
+over volumes and rounding up to whole bloks, so partitions routinely
+end up *exactly* full — these tests pin the edge behaviour: a fit with
+zero blocks to spare succeeds and still does IO, the next allocation
+refuses, and the spare region is skipped (never partially allocated)
+when it does not fit.
+"""
+
+import pytest
+
+from repro.hw.disk import Disk
+from repro.hw.platform import Machine
+from repro.sched.atropos import QoSSpec
+from repro.sim.core import Simulator
+from repro.sim.units import MS, SEC
+from repro.usd.sfs import ExtentError, Partition, SwapFileSystem
+from repro.usd.usd import USD
+
+QOS = QoSSpec(period_ns=100 * MS, slice_ns=10 * MS, laxity_ns=5 * MS)
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_sfs(sim, machine, nblocks, start=100_000):
+    usd = USD(sim, Disk(sim))
+    partition = Partition("swap", start, nblocks)
+    return SwapFileSystem(sim, usd, machine, partition)
+
+
+class TestPartitionBoundary:
+    def test_exact_fit_leaves_zero_free(self):
+        partition = Partition("p", 0, 64)
+        extent = partition.allocate_extent(64)
+        assert (extent.start, extent.nblocks) == (0, 64)
+        assert partition.free_blocks == 0
+
+    def test_one_block_over_refuses_and_allocates_nothing(self):
+        partition = Partition("p", 0, 64)
+        partition.allocate_extent(32)
+        cursor = partition._cursor
+        with pytest.raises(ExtentError):
+            partition.allocate_extent(33)
+        assert partition._cursor == cursor   # refusal is side-effect free
+        assert partition.free_blocks == 32
+
+    def test_empty_and_negative_extents_refused(self):
+        partition = Partition("p", 0, 64)
+        for nblocks in (0, -1):
+            with pytest.raises(ExtentError):
+                partition.allocate_extent(nblocks)
+
+
+class TestSwapFileExactFit:
+    def test_exactly_full_swapfile_still_does_io(self, sim, machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, 4 * blok_blocks)
+        swapfile = sfs.create_swapfile("full", 4 * machine.page_size, QOS)
+        # The data extent consumed the whole partition: no room for a
+        # spare region, which is silently skipped — never truncated.
+        assert sfs.partition.free_blocks == 0
+        assert swapfile.spare_extent is None
+        assert swapfile.spares_left == 0
+        assert swapfile.nbloks == 4
+        sim.run_until_triggered(swapfile.write(3), limit=5 * SEC)
+        sim.run_until_triggered(swapfile.read(3), limit=5 * SEC)
+
+    def test_full_partition_refuses_the_next_swapfile(self, sim, machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, 4 * blok_blocks)
+        sfs.create_swapfile("full", 4 * machine.page_size, QOS)
+        with pytest.raises(ExtentError):
+            sfs.create_swapfile("next", machine.page_size, QOS)
+
+    def test_spare_region_allocated_when_it_exactly_fits(self, sim,
+                                                         machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, 6 * blok_blocks)
+        swapfile = sfs.create_swapfile("fit", 4 * machine.page_size, QOS,
+                                       spare_bloks=2)
+        assert swapfile.spare_bloks == 2
+        assert swapfile.spares_left == 2
+        assert sfs.partition.free_blocks == 0
+
+    def test_unaligned_bytes_round_up_to_whole_bloks(self, sim, machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, 8 * blok_blocks)
+        swapfile = sfs.create_swapfile("round", machine.page_size + 1,
+                                       QOS, spare_bloks=0)
+        assert swapfile.nbloks == 2     # 1 page + 1 byte -> 2 bloks
+        assert sfs.partition.free_blocks == 6 * blok_blocks
+
+    def test_blok_outside_extent_refused(self, sim, machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, 4 * blok_blocks)
+        swapfile = sfs.create_swapfile("full", 4 * machine.page_size, QOS)
+        for blok in (-1, swapfile.nbloks):
+            with pytest.raises(ExtentError):
+                swapfile.read(blok)
+
+    def test_sub_blok_extent_refused(self, sim, machine):
+        blok_blocks = machine.page_size // 512
+        sfs = make_sfs(sim, machine, blok_blocks - 1)
+        with pytest.raises(ExtentError):
+            sfs.create_swapfile("tiny", machine.page_size, QOS)
