@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
-    scale scale-smoke lint docs-lint
+    scale scale-smoke sweep sweep-smoke missions-lint lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -51,10 +51,24 @@ scale:
 scale-smoke:
 	$(PYTHON) -m repro.exp scale --smoke
 
+# Declarative mission corpus (missions/ + missions/matrix/) across
+# parallel workers; per-mission reports in results/missions/, the
+# aggregate in results/sweep.json. `sweep-smoke` is the CI matrix
+# (missions marked smoke = true); `missions-lint` validates the whole
+# corpus without running a single simulation.
+sweep:
+	$(PYTHON) -m repro.exp sweep
+
+sweep-smoke:
+	$(PYTHON) -m repro.exp sweep --smoke --jobs 4
+
+missions-lint:
+	$(PYTHON) -m repro.exp sweep --lint
+
 lint:
 	$(PYTHON) -m compileall -q src
 
 # Docstring-coverage gate (dependency-free interrogate stand-in).
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
-	    src/repro/exp src/repro/usd src/repro/usbs
+	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions

@@ -5,6 +5,7 @@
     python -m repro.exp report --metrics [--out DIR]
     python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
     python -m repro.exp scale [--smoke] [--out DIR]
+    python -m repro.exp sweep [--smoke] [--lint] [--jobs N] [--out DIR]
     python -m repro.exp --profile [experiment ...]
 
 Without arguments, everything runs at paper scale (~30 s of wall-clock
@@ -14,7 +15,10 @@ their modules. ``report`` runs the accountability workload and dumps
 a JSON metrics snapshot next to the figure outputs (see
 :mod:`repro.exp.metrics_report`); ``bench`` runs the performance-plane
 suite (:mod:`repro.exp.bench`); ``scale`` runs the multi-volume USBS
-scale-out and failure-containment experiment (:mod:`repro.exp.scale`). ``--profile`` wraps the selected
+scale-out and failure-containment experiment (:mod:`repro.exp.scale`);
+``sweep`` validates and executes the declarative mission corpus under
+``missions/`` across parallel workers (:mod:`repro.exp.sweep`).
+``--profile`` wraps the selected
 experiments in :mod:`cProfile` and writes a pstats dump per experiment
 under ``results/`` alongside a printed top-25 by cumulative time.
 """
@@ -26,7 +30,7 @@ import sys
 import time
 
 from repro.exp import (ablations, bench, chaos, fig7, fig8, fig9,
-                       metrics_report, microbench, pressure, scale)
+                       metrics_report, microbench, pressure, scale, sweep)
 
 
 def _banner(title):
@@ -128,13 +132,16 @@ def main(argv):
     if argv and argv[0] == "scale":
         _banner("Scale — multi-volume USBS scale-out & containment")
         return scale.main(argv[1:])
+    if argv and argv[0] == "sweep":
+        _banner("Sweep — declarative mission corpus")
+        return sweep.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)
     unknown = [t for t in targets if t not in RUNNERS]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
-        print("choose from: %s, all (also: report, bench, scale)"
+        print("choose from: %s, all (also: report, bench, scale, sweep)"
               % ", ".join(RUNNERS))
         return 1
     started = time.time()

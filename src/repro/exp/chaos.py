@@ -12,20 +12,21 @@ costs is charged to that pager, so the verdict mirrors Figure 9's:
 * the whole storm is reproducible byte-for-byte given the same seed —
   the run is re-executed and the two result payloads compared.
 
+Since the mission plane landed this module is a thin wrapper: it
+builds the ``chaos-fig9`` mission from its config and hands execution
+to :mod:`repro.missions.runner` (the committed corpus file
+``missions/chaos-fig9.toml`` is the same mission in TOML, and the
+equivalence tests hold both to the pre-mission numbers).
+
 Run it with ``python -m repro.exp chaos`` or ``make chaos``.
 Expected runtime: ~2 s including the reproducibility re-run.
 """
 
-import json
 from dataclasses import dataclass
 
-from repro.apps.fsclient import FileSystemClient
-from repro.apps.pager_app import PagingApplication
 from repro.exp import report
 from repro.exp.fig9 import Fig9Config
-from repro.faults import extent_storm
-from repro.sim.units import SEC
-from repro.system import NemesisSystem
+from repro.missions import MISSION_SCHEMA_VERSION, run_mission, validate_mission
 
 
 @dataclass(frozen=True)
@@ -73,70 +74,71 @@ class ChaosResult:
         return self.isolated and self.reproducible
 
 
-def _storm_plan(config, extent):
-    return extent_storm(config.seed, extent,
-                        transient_rate=config.transient_rate,
-                        bad_blocks=config.bad_blocks)
+def build_mission(config):
+    """The chaos scenario as a normalised mission dict.
 
-
-def _run_once(config, storm):
-    """One fresh system: fsclient at 50% plus pagers at 20% and 10%.
-
-    With ``storm=True`` the fault plan lands on the 10% pager's swap
-    extent before any simulated time passes. Returns a JSON-able dict
-    so reproducibility can be checked by comparing serialisations.
+    The fsclient takes 50% of the disk, the pagers take their
+    Figure-9 shares, and the storm (transient rate + bad blocks)
+    lands on the last — smallest-guarantee — pager's swap extent.
     """
     fig9 = config.fig9
-    system = NemesisSystem(backing=fig9.backing)
-    fs = FileSystemClient(system, "fsclient", fig9.fs_qos(),
-                          depth=fig9.fs_depth)
-    pagers = []
+    domains = [{
+        "kind": "fsclient", "name": "fsclient",
+        "period_ms": fig9.period_ms, "slice_ms": float(fig9.fs_slice_ms),
+        "laxity_ms": fig9.fs_laxity_ms, "depth": fig9.fs_depth,
+    }]
     for slice_ms in fig9.pager_slices_ms:
         share = 100 * slice_ms // fig9.period_ms
-        pagers.append(PagingApplication(
-            system, "pager-%d%%" % share, fig9.pager_qos(slice_ms),
-            mode="write-loop", stretch_bytes=fig9.stretch_bytes,
-            driver_frames=fig9.driver_frames, swap_bytes=fig9.swap_bytes))
-    victim = pagers[-1]     # the smallest guarantee hosts the storm
-    if storm:
-        system.install_fault_plan(
-            _storm_plan(config, victim.driver.swap.extent))
-    system.run_for(int(fig9.settle_sec * SEC))
-    start = {"fsclient": fs.bytes_read}
-    start.update({p.name: p.bytes_processed for p in pagers})
-    system.run_for(int(fig9.measure_sec * SEC))
-
-    def mbit(delta):
-        return delta * 8 / 1e6 / fig9.measure_sec
-
-    mbits = {"fsclient": mbit(fs.bytes_read - start["fsclient"])}
-    mbits.update({p.name: mbit(p.bytes_processed - start[p.name])
-                  for p in pagers})
-    stats = {}
-    if storm:
-        swap = victim.driver.swap
-        usd_client = swap.channel.usd_client
-        stats = {
-            "faults_injected": system.fault_injector.injected,
-            "usd_retries": usd_client.retries,
-            "usd_failures": usd_client.failures,
-            "sfs_remaps": swap.remaps,
-            "pages_lost": victim.driver.pages_lost,
-            "watchdog_kills": victim.app.mmentry.watchdog_kills,
-        }
-    return {"mbit": mbits, "stats": stats, "victim": victim.name}
+        domains.append({
+            "kind": "pager", "name": "pager-%d%%" % share,
+            "period_ms": fig9.period_ms, "slice_ms": float(slice_ms),
+            "laxity_ms": fig9.pager_laxity_ms, "mode": "write-loop",
+            "stretch_kb": fig9.stretch_bytes // 1024,
+            "driver_frames": fig9.driver_frames,
+            "swap_kb": fig9.swap_bytes // 1024,
+        })
+    victim = domains[-1]["name"]     # smallest guarantee hosts the storm
+    faults = []
+    if config.transient_rate > 0.0:
+        faults.append({"kind": "transient", "rate": config.transient_rate,
+                       "scope": "extent:%s" % victim})
+    if config.bad_blocks:
+        faults.append({"kind": "bad_block", "blocks": config.bad_blocks,
+                       "scope": "extent:%s" % victim})
+    return validate_mission({
+        "schema": MISSION_SCHEMA_VERSION,
+        "mission": {"name": "chaos-fig9", "family": "chaos",
+                    "seed": config.seed},
+        "topology": {"backing": fig9.backing},
+        "workload": {"domains": domains},
+        "phases": {"settle_sec": fig9.settle_sec,
+                   "measure_sec": fig9.measure_sec},
+        "runs": [{"name": "baseline"},
+                 {"name": "storm", "faults": faults}],
+        "determinism": {"repeat": "storm"},
+    })
 
 
 def run(config=ChaosConfig()):
-    """Baseline run, storm run, then the storm again for determinism."""
-    baseline = _run_once(config, storm=False)
-    storm = _run_once(config, storm=True)
-    repeat = _run_once(config, storm=True)
-    reproducible = (json.dumps(storm, sort_keys=True)
-                    == json.dumps(repeat, sort_keys=True))
+    """Execute the chaos mission: baseline run, storm run, then the
+    storm again for the determinism comparison."""
+    mission = build_mission(config)
+    mission_report = run_mission(mission)
+    baseline = mission_report["runs"]["baseline"]
+    storm = mission_report["runs"]["storm"]
+    victim = mission["workload"]["domains"][-1]["name"]
+    victim_stats = storm["domains"][victim]
+    stats = {
+        "faults_injected": storm["stats"]["faults_injected"],
+        "usd_retries": victim_stats["usd_retries"],
+        "usd_failures": victim_stats["usd_failures"],
+        "sfs_remaps": victim_stats["sfs_remaps"],
+        "pages_lost": victim_stats["pages_lost"],
+        "watchdog_kills": victim_stats["watchdog_kills"],
+    }
     return ChaosResult(config=config, baseline=baseline["mbit"],
-                       storm=storm["mbit"], stats=storm["stats"],
-                       victim=storm["victim"], reproducible=reproducible)
+                       storm=storm["mbit"], stats=stats, victim=victim,
+                       reproducible=mission_report["reproducible"])
 
 
 def format_result(result):

@@ -26,6 +26,13 @@ The verdict checks the paper's contract under all that pressure:
   (the storm run is executed twice and the payloads — including a
   digest of the frames-allocator event trace — compared).
 
+Since the mission plane landed this module is a thin wrapper: it
+builds the ``pressure-revocation`` mission from its config and hands
+execution to :mod:`repro.missions.runner` (the committed corpus file
+``missions/pressure-revocation.toml`` is the same mission in TOML,
+and the equivalence tests hold both — including the frames-trace
+digests — to the pre-mission numbers).
+
 Run it with ``python -m repro.exp chaos --pressure`` or
 ``make chaos-pressure``.
 
@@ -33,22 +40,14 @@ Expected runtime: ~1 s including the reproducibility re-run
 (`python -m repro.exp chaos --pressure` or `make chaos-pressure`).
 """
 
-import json
 from dataclasses import dataclass
-from hashlib import blake2b
 
-from repro.apps.pager_app import PagingApplication
 from repro.exp import report
-from repro.faults import (REVOKE_SILENT, TRANSIENT, BehaviorPlan,
-                          BehaviorRule, FaultPlan, FaultRule)
-from repro.hw.mmu import AccessKind
-from repro.hw.platform import Machine
-from repro.kernel.threads import Touch, Wait
-from repro.sched.atropos import QoSSpec
-from repro.sim.units import MS, SEC
-from repro.system import NemesisSystem
+from repro.missions import MISSION_SCHEMA_VERSION, run_mission, validate_mission
 
-MB = 1024 * 1024
+#: The paper platform's page size in KB (an EB164's 8 KB pages); the
+#: mission format sizes stretches in KB, the config in pages.
+_PAGE_KB = 8
 
 
 @dataclass(frozen=True)
@@ -129,154 +128,91 @@ class PressureResult:
                 and self.reproducible)
 
 
-# -- scenario processes ------------------------------------------------------
+_COOPS = ("coop-a", "coop-b")
 
 
-def _hostile_main(system, stretch):
-    """Map every grabbed frame (so transparent revocation finds nothing
-    unused), then sit silently forever."""
-    for va in stretch.pages():
-        yield Touch(va, AccessKind.WRITE)
-    yield Wait(system.sim.event("hostile.idle"))   # never triggered
+def build_mission(config):
+    """The pressure scenario as a normalised mission dict."""
+    stretch_kb = config.coop_stretch_pages * _PAGE_KB
+    domains = [{
+        "kind": "pager", "name": name, "period_ms": 250, "slice_ms": 50.0,
+        "mode": "write-loop", "stretch_kb": stretch_kb,
+        "driver_frames": config.coop_driver_frames,
+        "swap_kb": 2 * stretch_kb,
+        "guaranteed_frames": config.coop_guaranteed,
+        "extra_frames": config.coop_extra,
+    } for name in _COOPS]
+    domains.append({"kind": "claimant", "name": "claimant",
+                    "guaranteed_frames": config.claim_guaranteed,
+                    "extra_frames": config.wave_frames * 2})
+    # The hostile domain: a tiny guarantee, a huge optimistic ceiling
+    # (extra_frames=-1: the whole machine), every free frame mapped.
+    domains.append({"kind": "hostile_hog", "name": "hostile"})
+    return validate_mission({
+        "schema": MISSION_SCHEMA_VERSION,
+        "mission": {"name": "pressure-revocation", "family": "pressure",
+                    "seed": config.seed},
+        "topology": {"machine_mb": config.machine_mb,
+                     "revocation_timeout_ms": config.revocation_timeout_ms,
+                     "max_revocation_rounds": config.max_rounds},
+        "workload": {"domains": domains},
+        "drivers": [
+            {"kind": "sample_min_alloc", "domains": list(_COOPS)},
+            {"kind": "claim", "client": "claimant",
+             "frames": config.claim_frames, "at_sec": config.claim_at_sec},
+            {"kind": "waves", "donors": list(_COOPS),
+             "claimant": "claimant", "frames": config.wave_frames,
+             "per_donor": config.waves_per_donor,
+             "start_sec": config.settle_sec + 0.2,
+             "period_sec": config.wave_period_sec},
+        ],
+        "behaviors": [{"kind": "revoke_silent", "domain": "hostile"}],
+        "phases": {"settle_sec": config.settle_sec,
+                   "measure_sec": config.measure_sec},
+        "runs": [
+            {"name": "baseline"},
+            {"name": "storm", "faults": [
+                {"kind": "transient", "rate": config.transient_rate,
+                 "scope": "extent:%s" % name} for name in _COOPS]},
+        ],
+        "determinism": {"repeat": "storm"},
+    })
 
 
-def _sampler(system, clients, min_alloc, period=25 * MS):
-    """Record the minimum frames each cooperative client ever held."""
-    while True:
-        yield system.sim.timeout(period)
-        for name, client in clients.items():
-            min_alloc[name] = min(min_alloc[name], client.allocated)
-
-
-def _claim(system, client, config, results):
-    """The pressure trigger: a within-guarantee request with no free
-    memory left — must succeed via escalation against the hostile."""
-    yield system.sim.timeout(int(config.claim_at_sec * SEC))
-    granted = yield client.request_frames(config.claim_frames)
-    results["claim_granted"] = len(granted)
-
-
-def _waves(system, coops, claim_client, config, results):
-    """Alternating donor->claimant transfers: each forces intrusive
-    revocation of dirty optimistic frames (clean-before-release)."""
-    yield system.sim.timeout(int((config.settle_sec + 0.2) * SEC))
-    for _ in range(config.waves_per_donor):
-        for coop in coops:
-            pfns = yield system.frames_allocator.transfer(
-                coop.app.frames, claim_client, config.wave_frames)
-            results["transfers"].append(len(pfns))
-            for pfn in pfns:     # churn: the claimant only needed proof
-                claim_client.free(pfn)
-            yield system.sim.timeout(int(config.wave_period_sec * SEC))
-
-
-# -- one run -----------------------------------------------------------------
-
-
-def _trace_digest(trace):
-    """Stable digest of the frames-allocator event trace."""
-    digest = blake2b(digest_size=16)
-    for event in trace.events:
-        digest.update(repr((event.time, event.kind, event.client,
-                            event.duration,
-                            sorted(event.info.items()))).encode())
-    return digest.hexdigest()
-
-
-def _counter_total(system, name):
-    return sum(system.metrics.counter(name).series().values())
-
-
-def _run_once(config, storm):
-    machine = Machine(name="pressure-rig",
-                      phys_mem_bytes=config.machine_mb * MB)
-    behavior = BehaviorPlan(seed=config.seed, rules=(
-        BehaviorRule(kind=REVOKE_SILENT, domain="hostile"),))
-    system = NemesisSystem(
-        machine=machine,
-        revocation_timeout=config.revocation_timeout_ms * MS,
-        max_revocation_rounds=config.max_rounds,
-        behavior_plan=behavior)
-    qos = QoSSpec(period_ns=250 * MS, slice_ns=50 * MS, extra=False,
-                  laxity_ns=10 * MS)
-    coops = [PagingApplication(
-        system, name, qos, mode="write-loop",
-        stretch_bytes=config.coop_stretch_pages * machine.page_size,
-        driver_frames=config.coop_driver_frames,
-        guaranteed_frames=config.coop_guaranteed,
-        extra_frames=config.coop_extra,
-        swap_bytes=2 * config.coop_stretch_pages * machine.page_size)
-        for name in ("coop-a", "coop-b")]
-    claimant = system.new_app("claimant",
-                              guaranteed_frames=config.claim_guaranteed,
-                              extra_frames=config.wave_frames * 2)
-    # The hostile domain: a tiny guarantee, a huge optimistic ceiling,
-    # and every remaining free frame mapped through a physical driver.
-    hostile = system.new_app("hostile", guaranteed_frames=8,
-                             extra_frames=machine.total_frames)
-    hog = hostile.physical_driver()
-    hog.provide_frames(machine.total_frames)    # best effort: drain the pool
-    grabbed = hog.free_frames
-    hog_stretch = hostile.new_stretch(grabbed * machine.page_size)
-    hostile.bind(hog_stretch, hog)
-    hostile.spawn(_hostile_main(system, hog_stretch), name="hostile-main")
-    if storm:
-        rules = tuple(
-            FaultRule(kind=TRANSIENT, rate=config.transient_rate,
-                      lba_start=coop.driver.swap.extent.start,
-                      lba_end=coop.driver.swap.extent.end)
-            for coop in coops)
-        system.install_fault_plan(FaultPlan(seed=config.seed, rules=rules))
-    results = {"claim_granted": None, "transfers": []}
-    clients = {c.name: c.app.frames for c in coops}
-    min_alloc = {name: client.allocated for name, client in clients.items()}
-    system.sim.spawn(_sampler(system, clients, min_alloc), name="sampler")
-    system.sim.spawn(_claim(system, claimant.frames, config, results),
-                     name="claim")
-    system.sim.spawn(_waves(system, coops, claimant.frames, config, results),
-                     name="waves")
-    system.run_for(int(config.settle_sec * SEC))
-    start = {c.name: c.bytes_processed for c in coops}
-    system.run_for(int(config.measure_sec * SEC))
-
-    def mbit(coop):
-        return ((coop.bytes_processed - start[coop.name]) * 8 / 1e6
-                / config.measure_sec)
-
-    kills_family = system.metrics.counter("frames_kills_total")
-    kills = {name: kills_family.get(domain=name)
-             for name in ("coop-a", "coop-b", "claimant", "hostile")}
+def _payload(mission_payload):
+    """Mission run payload -> this scenario's historical payload shape
+    (what :class:`PressureResult` and its tests consume)."""
+    per_domain = mission_payload["domains"]
     return {
-        "mbit": {c.name: mbit(c) for c in coops},
-        "min_allocated": dict(min_alloc),
-        "kills": {name: count for name, count in kills.items() if count},
-        "claim_granted": results["claim_granted"],
-        "transfers": results["transfers"],
-        "hostile_grabbed": grabbed,
+        "mbit": mission_payload["mbit"],
+        "min_allocated": mission_payload["min_allocated"],
+        "kills": mission_payload["kills"],
+        "claim_granted": mission_payload["claim_granted"],
+        "transfers": mission_payload["transfers"],
+        "hostile_grabbed": mission_payload["hostile_grabbed"]["hostile"],
         "stats": {
-            "revocation_rounds": _counter_total(
-                system, "frames_revocation_rounds_total"),
-            "revocation_cleans": _counter_total(
-                system, "frames_revocation_cleans_total"),
-            "behavior_faults": _counter_total(
-                system, "behavior_faults_injected_total"),
-            "pageouts": sum(c.driver.pageouts for c in coops),
-            "usd_retries": sum(
-                c.driver.swap.channel.usd_client.retries for c in coops),
+            "revocation_rounds": mission_payload["stats"]
+                                                ["revocation_rounds"],
+            "revocation_cleans": mission_payload["stats"]
+                                                ["revocation_cleans"],
+            "behavior_faults": mission_payload["stats"]["behavior_faults"],
+            "pageouts": sum(d["pageouts"] for d in per_domain.values()),
+            "usd_retries": sum(d["usd_retries"]
+                               for d in per_domain.values()),
         },
-        "trace_digest": _trace_digest(system.frames_trace),
+        "trace_digest": mission_payload["trace_digest"],
     }
 
 
 def run(config=PressureConfig()):
-    """Fault-free baseline, the storm, then the storm again (determinism)."""
-    baseline = _run_once(config, storm=False)
-    storm = _run_once(config, storm=True)
-    repeat = _run_once(config, storm=True)
-    reproducible = (json.dumps(storm, sort_keys=True)
-                    == json.dumps(repeat, sort_keys=True))
-    return PressureResult(config=config, baseline=baseline, storm=storm,
-                          reproducible=reproducible)
+    """Execute the pressure mission: fault-free baseline, the storm,
+    then the storm again (determinism)."""
+    mission_report = run_mission(build_mission(config))
+    return PressureResult(
+        config=config,
+        baseline=_payload(mission_report["runs"]["baseline"]),
+        storm=_payload(mission_report["runs"]["storm"]),
+        reproducible=mission_report["reproducible"])
 
 
 def format_result(result):

@@ -39,6 +39,14 @@ Leg C (failure containment)
     * bystander bandwidth during the storm window holds at
       >= ``retention_floor`` (default 95%) of the clean pinned run.
 
+Since the mission plane landed this module is a thin wrapper: legs A/B
+are the ``scale-scaling`` mission and leg C the ``scale-failover``
+mission, both built from the config here and executed by
+:mod:`repro.missions.runner` (the committed corpus file
+``missions/scale-scaleout.toml`` is the same workload in TOML at
+corpus scale; the equivalence tests hold the wrapper to the
+pre-mission numbers).
+
 Run it with ``python -m repro.exp scale`` (~4 minutes: five full
 system builds, each populating 384 pages of swap at contracted rates)
 or ``python -m repro.exp scale --smoke`` (reduced stretches and
@@ -53,11 +61,7 @@ import os
 import sys
 from dataclasses import dataclass
 
-from repro.apps.pager_app import PagingApplication
-from repro.faults.plan import disk_storm
-from repro.sched.atropos import QoSSpec
-from repro.sim.units import MS, SEC
-from repro.system import NemesisSystem
+from repro.missions import MISSION_SCHEMA_VERSION, run_mission, validate_mission
 
 MB = 1024 * 1024
 
@@ -102,104 +106,80 @@ def smoke_config():
 
 
 # ---------------------------------------------------------------------------
-# Workload construction and measurement
+# Mission construction
 # ---------------------------------------------------------------------------
 
-def build_workload(config, volumes, placement):
-    """One system + the three streaming self-pagers; returns both."""
-    system = NemesisSystem(volumes=volumes, volume_placement=placement,
-                          volume_seed=config.seed)
-    period = config.period_ms * MS
-    apps = []
-    for share in config.shares:
-        qos = QoSSpec(period_ns=period, slice_ns=share * period // 100,
-                      extra=False, laxity_ns=config.laxity_ms * MS)
-        apps.append(PagingApplication(
-            system, "scale-%d" % share, qos, mode="read-loop",
-            stretch_bytes=config.stretch_bytes,
-            driver_frames=config.frames, swap_bytes=config.swap_bytes,
-            driver_kind="stream", store="usbs",
-            prefetch_depth=config.prefetch_depth))
-    return system, apps
+def _domains(config):
+    """The three streaming self-pagers as mission workload entries."""
+    return [{
+        "kind": "pager", "name": "scale-%d" % share,
+        "period_ms": config.period_ms,
+        "slice_ms": share * config.period_ms / 100,
+        "laxity_ms": config.laxity_ms, "mode": "read-loop",
+        "stretch_kb": config.stretch_bytes // 1024,
+        "driver_frames": config.frames,
+        "swap_kb": config.swap_bytes // 1024,
+        "driver_kind": "stream", "store": "usbs",
+        "prefetch_depth": config.prefetch_depth,
+    } for share in config.shares]
 
 
-def populate(system, apps, config):
-    """Run until every domain has written its stretch through to swap.
-
-    The write pass goes at contracted rates — the 10% domain takes
-    tens of simulated seconds — so the measurement windows must not
-    start before it finishes. Returns the seconds waited; raises if
-    the limit trips (a determinism bug, not a tuning problem).
-    """
-    waited = 0.0
-    while not all(app.populated.triggered for app in apps):
-        if waited >= config.populate_limit_sec:
-            raise RuntimeError(
-                "workload failed to populate within %.0f s (populated: %s)"
-                % (config.populate_limit_sec,
-                   {app.name: app.populated.triggered for app in apps}))
-        system.run_for(1 * SEC)
-        waited += 1.0
-    return waited
+def _phases(config, wait_drains):
+    """The shared phase timeline (populate -> settle -> measure)."""
+    return {"settle_sec": config.settle_sec,
+            "measure_sec": config.measure_sec,
+            "populate": True,
+            "populate_limit_sec": config.populate_limit_sec,
+            "wait_drains": 1 if wait_drains else 0,
+            "drain_limit_sec": config.drain_limit_sec}
 
 
-def measure(system, apps, seconds):
-    """One measurement window: per-app bandwidth and per-volume
-    charged QoS shares.
+def build_scaling_mission(config):
+    """Legs A + B (one volume vs striped) as a normalised mission."""
+    return validate_mission({
+        "schema": MISSION_SCHEMA_VERSION,
+        "mission": {"name": "scale-scaling", "family": "scale",
+                    "seed": config.seed},
+        "topology": {"volumes": config.volumes},
+        "workload": {"domains": _domains(config)},
+        "phases": _phases(config, wait_drains=False),
+        "runs": [{"name": "one_volume", "topology": {"volumes": 1}},
+                 {"name": "striped"}],
+    })
 
-    Charged share is (served + laxity-burned) nanoseconds over the
-    window — laxity a stream burned waiting is charged as if working,
-    which is exactly how Atropos accounts it and the honest per-volume
-    consumption figure for the contract check.
-    """
-    bytes0 = {app.name: app.bytes_processed for app in apps}
-    charged0 = {}
-    for app in apps:
-        for client in app.driver.swap.attachments():
-            charged0[(app.name, client.usd.name)] = (client.served_ns
-                                                     + client.lax_ns)
-    system.run_for(int(seconds * SEC))
-    window_ns = seconds * SEC
-    bandwidth = {}
-    shares = []
-    for app in apps:
-        delta = app.bytes_processed - bytes0[app.name]
-        bandwidth[app.name] = delta * 8 / 1e6 / seconds
-        for client in app.driver.swap.attachments():
-            key = (app.name, client.usd.name)
-            if key not in charged0:
-                # Attached mid-window (a drain re-placed the shard);
-                # no full-window share exists for it.
-                continue
-            charged = (client.served_ns + client.lax_ns
-                       - charged0[key]) / window_ns
-            contract = client.qos.slice_ns / client.qos.period_ns
-            shares.append({
-                "app": app.name,
-                "volume": client.usd.name,
-                "charged": round(charged, 4),
-                "contract": round(contract, 4),
-                "relative_error": round(abs(charged / contract - 1), 4),
-            })
+
+def build_failover_mission(config):
+    """Leg C (pinned placement, clean vs volume storm) as a mission."""
+    victim = "scale-%d" % config.shares[1]
+    return validate_mission({
+        "schema": MISSION_SCHEMA_VERSION,
+        "mission": {"name": "scale-failover", "family": "scale",
+                    "seed": config.seed},
+        "topology": {"volumes": config.volumes,
+                     "volume_placement": "pinned"},
+        "workload": {"domains": _domains(config)},
+        "phases": _phases(config, wait_drains=True),
+        "runs": [
+            {"name": "pinned"},
+            {"name": "pinned_storm", "faults": [
+                {"kind": "transient", "rate": config.storm_rate,
+                 "scope": "volume_of:%s" % victim, "during": "measure",
+                 "duration_sec": config.storm_sec}]},
+        ],
+    })
+
+
+def _leg(payload):
+    """Mission run payload -> one measurement-leg dict (the
+    historical shape ``scale.json`` consumers read)."""
     return {
-        "bandwidth_mbit": {k: round(v, 2) for k, v in bandwidth.items()},
-        "aggregate_mbit": round(sum(bandwidth.values()), 2),
-        "volume_shares": shares,
-        "threads_alive": {app.name: not app.main_thread.done.triggered
-                          for app in apps},
+        "bandwidth_mbit": {name: round(value, 2)
+                           for name, value in payload["mbit"].items()},
+        "aggregate_mbit": payload["aggregate_mbit"],
+        "volume_shares": payload["volume_shares"],
+        "threads_alive": {name: domain["alive"]
+                          for name, domain in payload["domains"].items()},
     }
-
-
-def _run_leg(config, volumes, placement):
-    """Build, populate, settle, measure once; returns the leg dict."""
-    system, apps = build_workload(config, volumes, placement)
-    populated_sec = populate(system, apps, config)
-    system.run_for(int(config.settle_sec * SEC))
-    result = measure(system, apps, config.measure_sec)
-    result["volumes"] = volumes
-    result["placement"] = placement
-    result["populate_sec"] = populated_sec
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -208,8 +188,16 @@ def _run_leg(config, volumes, placement):
 
 def run_scaling(config):
     """Leg A (one volume) vs leg B (striped across all volumes)."""
-    leg_a = _run_leg(config, 1, "striped")
-    leg_b = _run_leg(config, config.volumes, "striped")
+    mission_report = run_mission(build_scaling_mission(config))
+    legs = {}
+    for name, volumes in (("one_volume", 1), ("striped", config.volumes)):
+        payload = mission_report["runs"][name]
+        leg = _leg(payload)
+        leg["volumes"] = volumes
+        leg["placement"] = "striped"
+        leg["populate_sec"] = payload["populate_sec"]
+        legs[name] = leg
+    leg_a, leg_b = legs["one_volume"], legs["striped"]
     scaling = (leg_b["aggregate_mbit"] / leg_a["aggregate_mbit"]
                if leg_a["aggregate_mbit"] else 0.0)
     worst = max((row["relative_error"] for row in leg_b["volume_shares"]),
@@ -233,64 +221,52 @@ def run_scaling(config):
 def run_failover(config):
     """Clean pinned run, then the same run with a storm on the volume
     the seeded draw pinned the middle domain to."""
-    clean_system, clean_apps = build_workload(config, config.volumes,
-                                             "pinned")
-    populate(clean_system, clean_apps, config)
-    clean_system.run_for(int(config.settle_sec * SEC))
-    clean = measure(clean_system, clean_apps, config.measure_sec)
-
-    system, apps = build_workload(config, config.volumes, "pinned")
-    manager = system.usbs
-    # Pinned backings occupy exactly one slot; the victim is whichever
-    # volume the seeded draw gave the middle domain, and containment is
-    # only a meaningful claim if the bystanders sit elsewhere.
-    victim_app = apps[1]
-    victim = victim_app.driver.swap.slots[0].volume
-    bystanders = [app for app in apps if app is not victim_app]
-    assert all(app.driver.swap.slots[0].volume is not victim
-               for app in bystanders), \
+    mission_report = run_mission(build_failover_mission(config))
+    clean = _leg(mission_report["runs"]["pinned"])
+    storm_payload = mission_report["runs"]["pinned_storm"]
+    storm = _leg(storm_payload)
+    volumes = storm_payload["volumes"]
+    victim_domain = "scale-%d" % config.shares[1]
+    victim = volumes["fault_volumes"]["volume_of:%s" % victim_domain]
+    bystanders = [name for name in storm_payload["mbit"]
+                  if name != victim_domain]
+    # Containment is only a meaningful claim if the seeded placement
+    # draw put the bystanders somewhere else.
+    assert all(volumes["initial"][name][0] != victim
+               for name in bystanders), \
         "placement draw put a bystander on the victim volume"
-    populate(system, apps, config)
-    system.run_for(int(config.settle_sec * SEC))
-    storm_start = system.sim.now
-    manager.install_fault_plan(
-        victim.index,
-        disk_storm(config.seed, config.storm_rate, start_ns=storm_start,
-                   end_ns=storm_start + int(config.storm_sec * SEC)))
-    storm = measure(system, apps, config.measure_sec)
-    waited = 0.0
-    while manager.drains_done < 1 and waited < config.drain_limit_sec:
-        system.run_for(1 * SEC)
-        waited += 1.0
-
-    exposure = manager.fault_exposure_by_volume()
+    exposure = volumes["exposure"]
     leaked = {name: count for name, count in exposure.items()
-              if name != victim.name and count}
+              if name != victim and count}
     retention = {}
-    for app in bystanders:
-        before = clean["bandwidth_mbit"][app.name]
-        during = storm["bandwidth_mbit"][app.name]
-        retention[app.name] = round(during / before, 4) if before else 0.0
-    lost_elsewhere = {app.name: len(app.driver.swap.lost)
-                      for app in bystanders if app.driver.swap.lost}
-    relocated = victim_app.driver.swap.slots[0].volume
+    for name in bystanders:
+        before = clean["bandwidth_mbit"][name]
+        during = storm["bandwidth_mbit"][name]
+        retention[name] = round(during / before, 4) if before else 0.0
+    lost_elsewhere = {
+        name: len(storm_payload["domains"][name]["lost_bloks"])
+        for name in bystanders
+        if storm_payload["domains"][name]["lost_bloks"]}
+    victim_state = volumes["states"][victim]
+    relocated_to = volumes["final"][victim_domain][0]
     return {
-        "victim_volume": victim.name,
+        "victim_volume": victim,
         "clean": clean,
         "storm": storm,
         "exposure_by_volume": exposure,
-        "victim_state": victim.state,
-        "drains_done": manager.drains_done,
-        "stranded": list(manager.stranded),
-        "relocated_to": relocated.name,
-        "victim_bloks_lost": len(victim_app.driver.swap.lost),
+        "victim_state": victim_state,
+        "drains_done": volumes["drains_done"],
+        "stranded": volumes["stranded"],
+        "relocated_to": relocated_to,
+        "victim_bloks_lost": len(
+            storm_payload["domains"][victim_domain]["lost_bloks"]),
         "bystander_retention": retention,
         "gates": {
             "exposure_contained": not leaked,
-            "degraded_and_drained": (not victim.healthy
-                                     and manager.drains_done >= 1
-                                     and not manager.stranded
-                                     and relocated is not victim),
+            "degraded_and_drained": (victim_state != "healthy"
+                                     and volumes["drains_done"] >= 1
+                                     and not volumes["stranded"]
+                                     and relocated_to != victim),
             "losses_contained": not lost_elsewhere,
             "bystanders_retained": all(
                 value >= config.retention_floor

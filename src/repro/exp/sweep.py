@@ -1,0 +1,224 @@
+"""Run a mission corpus across parallel workers: ``repro.exp sweep``.
+
+Discovers every ``*.toml`` under ``missions/`` and ``missions/matrix/``
+(or the directories given with ``--missions``), validates the whole
+corpus up front (any malformed file aborts the sweep before a single
+simulation starts), then executes each mission in a worker process
+pool. Each mission's canonical report lands in
+``results/missions/<name>.json``; the aggregate — per-mission verdict,
+per-invariant failures, injection-audit vacuities, wall-clock — lands
+in ``results/sweep.json``. The exit status is non-zero if any mission
+FAILs, is vacuous, or is irreproducible.
+
+    python -m repro.exp sweep                 # the full corpus
+    python -m repro.exp sweep --smoke         # the reduced CI matrix
+    python -m repro.exp sweep --lint          # validate only, no runs
+    python -m repro.exp sweep --jobs 4 --out results
+
+Expected wall-clock: the full 20+3-mission corpus is ~30 s on four
+workers; ``--smoke`` is under 15 s.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.missions import (MissionError, load_mission, report_json,
+                            run_mission)
+
+#: Bump on incompatible changes to the ``results/sweep.json`` layout.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Directories searched for mission files, in order.
+DEFAULT_DIRS = (os.path.join("missions"),
+                os.path.join("missions", "matrix"))
+
+
+def discover(dirs):
+    """Mission file paths under ``dirs`` (non-recursive), sorted by
+    file name so the sweep order is stable across machines."""
+    paths = []
+    for directory in dirs:
+        if not os.path.isdir(directory):
+            continue
+        for entry in sorted(os.listdir(directory)):
+            if entry.endswith(".toml"):
+                paths.append(os.path.join(directory, entry))
+    return sorted(paths, key=os.path.basename)
+
+
+def lint(paths):
+    """Validate every mission file; returns (missions, errors) where
+    ``errors`` is a list of ``(path, message)`` pairs."""
+    missions, errors = [], []
+    for path in paths:
+        try:
+            missions.append((path, load_mission(path)))
+        except MissionError as exc:
+            errors.append((path, str(exc)))
+    return missions, errors
+
+
+def _worker(path):
+    """Worker-process body: run one mission file, return a summary.
+
+    Re-loads the mission in the worker (mission dicts are small, but
+    re-loading keeps the task payload a plain path — trivially
+    picklable and immune to parent/worker skew).
+    """
+    started = time.monotonic()
+    mission = load_mission(path)
+    report = run_mission(mission)
+    return {
+        "path": path,
+        "name": mission["mission"]["name"],
+        "family": mission["mission"]["family"],
+        "elapsed_sec": round(time.monotonic() - started, 2),
+        "report": report,
+    }
+
+
+def _summarise(outcome):
+    """One aggregate row from a worker outcome (report stripped down
+    to verdicts; the full report is in ``results/missions/``)."""
+    report = outcome["report"]
+    failed = [{key: value for key, value in inv.items()}
+              for inv in report["invariants"] if not inv["passed"]]
+    return {
+        "name": outcome["name"],
+        "family": outcome["family"],
+        "path": outcome["path"],
+        "elapsed_sec": outcome["elapsed_sec"],
+        "passed": report["passed"],
+        "reproducible": report["reproducible"],
+        "vacuous": report["audit"]["vacuous"],
+        "invariants_failed": failed,
+    }
+
+
+def sweep(paths, jobs, out_dir):
+    """Run every mission in ``paths`` on ``jobs`` workers; write the
+    per-mission reports and the aggregate; return the aggregate."""
+    report_dir = os.path.join(out_dir, "missions")
+    os.makedirs(report_dir, exist_ok=True)
+    started = time.monotonic()
+    rows = []
+    if jobs > 1 and len(paths) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_worker, paths))
+    else:
+        outcomes = [_worker(path) for path in paths]
+    for outcome in outcomes:
+        with open(os.path.join(report_dir, "%s.json" % outcome["name"]),
+                  "w", encoding="utf-8") as fh:
+            fh.write(report_json(outcome["report"]))
+        rows.append(_summarise(outcome))
+    rows.sort(key=lambda row: row["name"])
+    aggregate = {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "jobs": jobs,
+        "missions": rows,
+        "counts": {
+            "total": len(rows),
+            "passed": sum(1 for row in rows if row["passed"]),
+            "failed": sum(1 for row in rows if not row["passed"]),
+            "vacuous": sum(1 for row in rows if row["vacuous"]),
+        },
+        "elapsed_sec": round(time.monotonic() - started, 2),
+        "passed": all(row["passed"] for row in rows),
+    }
+    with open(os.path.join(out_dir, "sweep.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(aggregate, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return aggregate
+
+
+def format_aggregate(aggregate):
+    """Human-readable sweep summary."""
+    lines = ["Mission sweep — %d workers" % aggregate["jobs"], ""]
+    for row in aggregate["missions"]:
+        verdict = "PASS" if row["passed"] else "FAIL"
+        lines.append("  %-40s %s  (%.1f s)"
+                     % (row["name"], verdict, row["elapsed_sec"]))
+        for inv in row["invariants_failed"]:
+            lines.append("      invariant failed: %s %s"
+                         % (inv["check"], json.dumps(inv["observed"])))
+        for vacuity in row["vacuous"]:
+            lines.append("      vacuous: %s" % vacuity)
+        if not row["reproducible"]:
+            lines.append("      NOT reproducible")
+    counts = aggregate["counts"]
+    lines.append("")
+    lines.append("%d/%d passed (%d vacuous) in %.1f s — %s"
+                 % (counts["passed"], counts["total"], counts["vacuous"],
+                    aggregate["elapsed_sec"],
+                    "PASS" if aggregate["passed"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    """CLI entrypoint; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.exp sweep",
+        description="run the declarative mission corpus")
+    parser.add_argument("--smoke", action="store_true",
+                        help="only missions marked smoke=true")
+    parser.add_argument("--lint", action="store_true",
+                        help="validate the corpus and exit")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (default: CPU count, "
+                             "capped at 8)")
+    parser.add_argument("--out", default="results",
+                        help="output directory (default: results)")
+    parser.add_argument("--missions", action="append", default=None,
+                        metavar="DIR",
+                        help="mission directory (repeatable; default: "
+                             "missions/ and missions/matrix/)")
+    parser.add_argument("names", nargs="*",
+                        help="run only these mission names")
+    args = parser.parse_args(argv)
+
+    paths = discover(args.missions or DEFAULT_DIRS)
+    if not paths:
+        print("no mission files found")
+        return 1
+    missions, errors = lint(paths)
+    for path, message in errors:
+        print("INVALID %s: %s" % (path, message))
+    if errors:
+        return 1
+    print("%d mission files validated" % len(missions))
+    if args.lint:
+        return 0
+
+    selected = missions
+    if args.smoke:
+        selected = [(p, m) for p, m in selected if m["mission"]["smoke"]]
+    if args.names:
+        wanted = set(args.names)
+        selected = [(p, m) for p, m in selected
+                    if m["mission"]["name"] in wanted]
+        missing = wanted - {m["mission"]["name"] for _, m in selected}
+        if missing:
+            print("unknown mission(s): %s" % ", ".join(sorted(missing)))
+            return 1
+    if not selected:
+        print("no missions selected")
+        return 1
+    jobs = args.jobs or min(os.cpu_count() or 1, 8)
+    jobs = max(1, min(jobs, len(selected)))
+    print("running %d missions on %d workers..." % (len(selected), jobs))
+    aggregate = sweep([p for p, _ in selected], jobs, args.out)
+    print()
+    print(format_aggregate(aggregate))
+    print()
+    print("aggregate: %s" % os.path.join(args.out, "sweep.json"))
+    return 0 if aggregate["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ from repro.faults.behavior import (
     BehaviorInjector,
     BehaviorPlan,
     BehaviorRule,
+    behavior_plan_from_config,
+    behavior_rule_from_config,
 )
 from repro.faults.plan import (
     BAD_BLOCK,
@@ -28,6 +30,8 @@ from repro.faults.plan import (
     FaultRule,
     disk_storm,
     extent_storm,
+    plan_from_config,
+    rule_from_config,
 )
 
 __all__ = [
@@ -36,5 +40,7 @@ __all__ = [
     "REVOKE_SLOW", "STATUS_IO_ERROR", "STATUS_OK", "STATUS_TIMEOUT",
     "STUCK", "TRANSIENT", "BehaviorDecision", "BehaviorInjector",
     "BehaviorPlan", "BehaviorRule", "FaultDecision", "FaultInjector",
-    "FaultPlan", "FaultRule", "disk_storm", "extent_storm",
+    "FaultPlan", "FaultRule", "behavior_plan_from_config",
+    "behavior_rule_from_config", "disk_storm", "extent_storm",
+    "plan_from_config", "rule_from_config",
 ]

@@ -116,7 +116,8 @@ class BehaviorPlan:
     seed: int
     rules: Tuple[BehaviorRule, ...] = ()
 
-    def _decide(self, scope, domain, now, seq):
+    def _decide(self, scope, domain, now, seq, observed=None):
+        decision = None
         for index, rule in enumerate(self.rules):
             if scope == _SCOPE_REVOKE and rule.kind not in REVOKE_KINDS:
                 continue
@@ -127,18 +128,51 @@ class BehaviorPlan:
             if rule.rate < 1.0 and _draw(self.seed, rule.kind, index,
                                          domain, now, seq) >= rule.rate:
                 continue
-            return BehaviorDecision(kind=rule.kind, delay_ns=rule.delay_ns,
-                                    fraction=rule.fraction,
-                                    thrash_factor=rule.thrash_factor)
-        return None
+            # First firing rule wins; later firings are still recorded
+            # in ``observed`` (draws are pure, so the extra evaluation
+            # cannot perturb anything) for the injection audit.
+            if observed is not None:
+                observed.add(index)
+            if decision is None:
+                decision = BehaviorDecision(
+                    kind=rule.kind, delay_ns=rule.delay_ns,
+                    fraction=rule.fraction,
+                    thrash_factor=rule.thrash_factor)
+                if observed is None:
+                    return decision
+        return decision
 
-    def revocation_decision(self, domain, now, seq=0):
+    def revocation_decision(self, domain, now, seq=0, observed=None):
         """How ``domain`` behaves towards this revocation notification."""
-        return self._decide(_SCOPE_REVOKE, domain, now, seq)
+        return self._decide(_SCOPE_REVOKE, domain, now, seq,
+                            observed=observed)
 
-    def alloc_decision(self, domain, now, seq=0):
+    def alloc_decision(self, domain, now, seq=0, observed=None):
         """Whether this frame request is inflated (alloc_thrash)."""
-        return self._decide(_SCOPE_ALLOC, domain, now, seq)
+        return self._decide(_SCOPE_ALLOC, domain, now, seq,
+                            observed=observed)
+
+
+#: BehaviorRule field names settable from declarative (mission) config.
+BEHAVIOR_CONFIG_KEYS = ("kind", "domain", "rate", "start_ns", "end_ns",
+                        "delay_ns", "fraction", "thrash_factor")
+
+
+def behavior_rule_from_config(config):
+    """Build a :class:`BehaviorRule` from a plain dict (the mission
+    plane's conversion point; unknown keys are a hard error)."""
+    unknown = sorted(set(config) - set(BEHAVIOR_CONFIG_KEYS))
+    if unknown:
+        raise ValueError("unknown behavior-rule config key(s): %s"
+                         % ", ".join(unknown))
+    return BehaviorRule(**config)
+
+
+def behavior_plan_from_config(seed, rule_configs):
+    """Build a :class:`BehaviorPlan` from a seed plus rule dicts,
+    preserving rule order (draws are keyed by rule index)."""
+    return BehaviorPlan(seed=seed, rules=tuple(
+        behavior_rule_from_config(config) for config in rule_configs))
 
 
 class BehaviorInjector:
@@ -153,6 +187,9 @@ class BehaviorInjector:
             "behavior_faults_injected_total",
             help="domain-behaviour faults injected, by kind and domain")
         self.injected = 0
+        #: Indices of plan rules observed firing at least once — the
+        #: mission plane's injection-audit evidence.
+        self.observed = set()
         self._seq = {}
 
     def _next_seq(self, scope, domain):
@@ -170,15 +207,17 @@ class BehaviorInjector:
         """Consulted by the MMEntry at the revocation channel."""
         seq = self._next_seq(_SCOPE_REVOKE, domain)
         return self._account(
-            self.plan.revocation_decision(domain, now, seq), domain)
+            self.plan.revocation_decision(domain, now, seq,
+                                          observed=self.observed), domain)
 
     def alloc_count(self, domain, now, count, room):
         """Consulted by FramesClient.request_frames: possibly inflate
         ``count`` (never beyond ``room``, the contract's remaining
         quota)."""
         seq = self._next_seq(_SCOPE_ALLOC, domain)
-        decision = self._account(self.plan.alloc_decision(domain, now, seq),
-                                 domain)
+        decision = self._account(
+            self.plan.alloc_decision(domain, now, seq,
+                                     observed=self.observed), domain)
         if decision is None:
             return count
         return max(count, min(max(room, 0), count * decision.thrash_factor))

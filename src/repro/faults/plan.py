@@ -148,9 +148,17 @@ class FaultPlan:
                 return True
         return False
 
-    def decide(self, req, now):
+    def decide(self, req, now, observed=None):
         """Evaluate every rule against one transaction; returns a
-        :class:`FaultDecision` (CLEAN if nothing fires)."""
+        :class:`FaultDecision` (CLEAN if nothing fires).
+
+        ``observed``, when given, is a set that collects the index of
+        every rule whose own draw fired for this transaction — even
+        rules outranked by precedence. Draws are pure functions of the
+        key, so the extra evaluations cannot perturb the decision; the
+        mission plane's injection audit uses this to prove each
+        declared rule was exercised (not vacuous).
+        """
         fail_kind = None
         stuck_ns = 0
         latency_extra = 0
@@ -158,23 +166,31 @@ class FaultPlan:
             if not rule.applies(req, now):
                 continue
             if rule.kind == BAD_BLOCK:
-                if fail_kind != BAD_BLOCK and self._bad_block_hit(rule,
-                                                                  index, req):
+                hit = self._bad_block_hit(rule, index, req)
+                if hit and observed is not None:
+                    observed.add(index)
+                if fail_kind != BAD_BLOCK and hit:
                     fail_kind = BAD_BLOCK
             elif rule.kind == STUCK:
-                if fail_kind in (None, TRANSIENT) and _draw(
-                        self.seed, STUCK, index, req.lba, req.kind,
-                        now) < rule.rate:
+                fired = _draw(self.seed, STUCK, index, req.lba, req.kind,
+                              now) < rule.rate
+                if fired and observed is not None:
+                    observed.add(index)
+                if fail_kind in (None, TRANSIENT) and fired:
                     fail_kind = STUCK
                     stuck_ns = rule.stuck_ns
             elif rule.kind == TRANSIENT:
-                if fail_kind is None and _draw(
-                        self.seed, TRANSIENT, index, req.lba, req.kind,
-                        now) < rule.rate:
+                fired = _draw(self.seed, TRANSIENT, index, req.lba,
+                              req.kind, now) < rule.rate
+                if fired and observed is not None:
+                    observed.add(index)
+                if fail_kind is None and fired:
                     fail_kind = TRANSIENT
             else:  # LATENCY
                 if _draw(self.seed, LATENCY, index, req.lba, req.kind,
                          now) < rule.rate:
+                    if observed is not None:
+                        observed.add(index)
                     latency_extra += rule.extra_ns
         if fail_kind in (BAD_BLOCK, TRANSIENT):
             return FaultDecision(status=STATUS_IO_ERROR, kind=fail_kind)
@@ -216,6 +232,36 @@ def disk_storm(seed, transient_rate, start_ns=0, end_ns=None):
                   start_ns=start_ns, end_ns=end_ns),))
 
 
+#: FaultRule field names settable from declarative (mission) config.
+RULE_CONFIG_KEYS = ("kind", "rate", "lba_start", "lba_end", "op",
+                    "start_ns", "end_ns", "extra_ns", "stuck_ns", "blocks")
+
+
+def rule_from_config(config):
+    """Build a :class:`FaultRule` from a plain dict.
+
+    The mission plane stores fault rules as data; this is the single
+    conversion point, so a config key the dataclass does not know is a
+    hard error rather than a silently-ignored knob.
+    """
+    unknown = sorted(set(config) - set(RULE_CONFIG_KEYS))
+    if unknown:
+        raise ValueError("unknown fault-rule config key(s): %s"
+                         % ", ".join(unknown))
+    config = dict(config)
+    if "blocks" in config:
+        config["blocks"] = tuple(config["blocks"])
+    return FaultRule(**config)
+
+
+def plan_from_config(seed, rule_configs):
+    """Build a :class:`FaultPlan` from a seed plus a list of rule
+    dicts (see :func:`rule_from_config`). Rule order is preserved —
+    draws are keyed by rule index, so order is part of the seed."""
+    return FaultPlan(seed=seed, rules=tuple(
+        rule_from_config(config) for config in rule_configs))
+
+
 class FaultInjector:
     """The plan bound to a metrics registry: the disk's consultation
     point, and the accounting of everything injected."""
@@ -227,9 +273,12 @@ class FaultInjector:
             "faults_injected_total",
             help="storage faults injected, by kind and victim stream")
         self.injected = 0
+        #: Indices of plan rules observed firing at least once — the
+        #: mission plane's injection-audit evidence.
+        self.observed = set()
 
     def decide(self, req, now):
-        decision = self.plan.decide(req, now)
+        decision = self.plan.decide(req, now, observed=self.observed)
         if not decision.clean:
             self.injected += 1
             self._family.child(kind=decision.kind,

@@ -1,0 +1,212 @@
+"""Generate the mission matrix: hostile-rule x storm x topology.
+
+The matrix crosses the pressure scenario's revocation workload (two
+cooperative pagers, a claimant, optionally a hostile hog) with a
+deterministic fault storm, over three topologies:
+
+* ``sfs``    — single disk, swap extents on the system store;
+* ``striped4`` — four USBS volumes, shards striped across them;
+* ``pinned4``  — four USBS volumes, one shard pinned per volume.
+
+Hostile rules: ``none`` (no hog domain at all), ``silent`` (ignores
+revocation — the escalation ladder must kill it), ``lie`` (acks
+without freeing — also killed), ``partial`` (frees half per round —
+survives). Storms: ``transient`` (read/write retries on coop-a's
+backing) and ``compound`` (transients on coop-a plus latency on
+coop-b, plus a remapped bad block on the sfs topology).
+
+Every mission expects: guarantees held (``min_frames``), the claim
+granted, the exact kill set for its hostile rule, bystander bandwidth
+retention, and forward progress — and every declared rule must fire
+(the sweep's injection audit), so a storm that never lands fails the
+mission as vacuous.
+
+``python -m repro.missions.matrix [--out missions/matrix]`` writes the
+corpus; ``build_matrix()`` returns the normalised mission dicts.
+"""
+
+import os
+import sys
+
+from repro.missions.validate import serialize_mission, validate_mission
+
+#: Hostile-domain rules crossed into the matrix. ``none`` omits the
+#: hog entirely; the others pick the revocation response.
+HOSTILES = ("none", "silent", "lie", "partial")
+
+#: Storm shapes crossed into the matrix.
+STORMS = ("transient", "compound")
+
+#: Topologies for the full cross; ``pinned4`` rides along for a
+#: reduced hostile set (placement changes containment, not
+#: revocation, so the full cross would mostly repeat ``striped4``).
+TOPOLOGIES = ("sfs", "striped4")
+EXTRA_PINNED = (("silent", "transient"), ("silent", "compound"),
+                ("partial", "transient"), ("partial", "compound"))
+
+#: The reduced CI matrix (``repro.exp sweep --smoke``): one mission
+#: per topology x {killed-hostile, surviving-or-no-hostile} cell.
+SMOKE = frozenset((
+    "matrix-silent-transient-sfs",
+    "matrix-partial-compound-sfs",
+    "matrix-none-transient-striped4",
+    "matrix-lie-compound-striped4",
+    "matrix-silent-transient-pinned4",
+    "matrix-partial-compound-pinned4",
+))
+
+_BEHAVIOR_KIND = {"silent": "revoke_silent", "lie": "revoke_lie",
+                  "partial": "revoke_partial"}
+
+
+def _coop(name, store):
+    """One cooperative pager (the pressure scenario's coop shape)."""
+    return {
+        "kind": "pager", "name": name, "period_ms": 250, "slice_ms": 50.0,
+        "mode": "write-loop", "stretch_kb": 512, "driver_frames": 48,
+        "swap_kb": 1024, "guaranteed_frames": 24, "extra_frames": 24,
+        "store": store,
+    }
+
+
+def _topology(topo):
+    """The ``[topology]`` table for one matrix topology."""
+    out = {"machine_mb": 8, "revocation_timeout_ms": 100,
+           "max_revocation_rounds": 3}
+    if topo != "sfs":
+        out["volumes"] = 4
+        if topo == "pinned4":
+            out["volume_placement"] = "pinned"
+    return out
+
+
+def _storm(storm, topo):
+    """The storm run's fault rules, scoped to the topology's store.
+
+    Rules run whole-run (``during='start'``): the bad block must sit
+    under the victim's first swap slot when the stretch populates, and
+    a striped volume sees only a quarter of its victim's I/O — so the
+    striped rates are raised so every rule provably fires (the audit
+    rejects the mission otherwise) without tripping the volume health
+    monitor's 15-faults-per-500ms degrade threshold. A pinned volume
+    carries *all* of its victim's I/O, so pinned keeps the sfs rates.
+    """
+    sfs = topo == "sfs"
+    striped = topo == "striped4"
+
+    def _scope(domain):
+        return ("extent:%s" if sfs else "volume_of:%s") % domain
+
+    rate = (0.35 if striped else 0.1) if storm == "transient" \
+        else (0.3 if striped else 0.08)
+    rules = [{"kind": "transient", "rate": rate, "scope": _scope("coop-a")}]
+    if storm == "compound":
+        rules.append({"kind": "latency", "rate": 0.5 if striped else 0.3,
+                      "extra_ms": 3, "scope": _scope("coop-b")})
+        if sfs:
+            # Remapped bad blocks are an sfs-extent concept; volume
+            # topologies exercise whole-volume faults instead.
+            rules.append({"kind": "bad_block", "blocks": 1,
+                          "scope": _scope("coop-a")})
+    return rules
+
+
+def _mission(hostile, storm, topo, seed):
+    """One raw (pre-normalisation) matrix mission dict."""
+    name = "matrix-%s-%s-%s" % (hostile, storm, topo)
+    store = "sfs" if topo == "sfs" else "usbs"
+    domains = [_coop("coop-a", store), _coop("coop-b", store),
+               {"kind": "claimant", "name": "claimant",
+                "guaranteed_frames": 32, "extra_frames": 16}]
+    behaviors = []
+    kill_set = {}
+    if hostile != "none":
+        domains.append({"kind": "hostile_hog", "name": "hostile"})
+        behaviors.append({"kind": _BEHAVIOR_KIND[hostile],
+                          "domain": "hostile"})
+        if hostile in ("silent", "lie"):
+            kill_set = {"hostile": 1}
+    mission = {
+        "schema": 1,
+        "mission": {
+            "name": name,
+            "family": "matrix",
+            "description": ("hostile=%s storm=%s topology=%s: guarantees "
+                            "and claims hold under fault injection"
+                            % (hostile, storm, topo)),
+            "seed": seed,
+            "smoke": name in SMOKE,
+        },
+        "topology": _topology(topo),
+        "workload": {"domains": domains},
+        "drivers": [
+            {"kind": "sample_min_alloc", "domains": ["coop-a", "coop-b"]},
+            {"kind": "claim", "client": "claimant", "frames": 24,
+             "at_sec": 0.5},
+        ],
+        "behaviors": behaviors,
+        "phases": {"settle_sec": 1.0, "measure_sec": 3.0},
+        "runs": [
+            {"name": "baseline"},
+            {"name": "storm", "faults": _storm(storm, topo)},
+        ],
+        "determinism": {"repeat": "storm"},
+        "expect": [
+            {"check": "min_frames", "domains": ["coop-a", "coop-b"],
+             "floor": 24},
+            {"check": "claim_granted", "frames": 24},
+            {"check": "kill_set", "exactly": kill_set},
+            {"check": "bandwidth_retention", "run": "storm",
+             "baseline": "baseline", "domains": ["coop-b"], "floor": 0.9},
+            {"check": "bandwidth_retention", "run": "storm",
+             "baseline": "baseline", "domains": ["coop-a"], "floor": 0.75},
+            {"check": "progress", "run": "storm",
+             "domains": ["coop-a", "coop-b"]},
+        ],
+    }
+    return mission
+
+
+def build_matrix():
+    """All matrix missions, normalised, in generation order."""
+    cells = [(hostile, storm, topo)
+             for topo in TOPOLOGIES
+             for hostile in HOSTILES
+             for storm in STORMS]
+    cells += [(hostile, storm, "pinned4")
+              for hostile, storm in EXTRA_PINNED]
+    return [validate_mission(_mission(hostile, storm, topo, 100 + index))
+            for index, (hostile, storm, topo) in enumerate(cells)]
+
+
+def write_matrix(out_dir):
+    """Serialise the matrix under ``out_dir``; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for mission in build_matrix():
+        path = os.path.join(out_dir, "%s.toml" % mission["mission"]["name"])
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(serialize_mission(mission))
+        paths.append(path)
+    return paths
+
+
+def main(argv=None):
+    """CLI: regenerate the committed matrix corpus."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out_dir = os.path.join("missions", "matrix")
+    if argv and argv[0] == "--out":
+        out_dir = argv[1]
+        argv = argv[2:]
+    if argv:
+        print("usage: python -m repro.missions.matrix [--out DIR]")
+        return 1
+    paths = write_matrix(out_dir)
+    smoke = sum(1 for m in build_matrix() if m["mission"]["smoke"])
+    print("wrote %d matrix missions (%d smoke) under %s"
+          % (len(paths), smoke, out_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,731 @@
+"""The headless mission runner.
+
+:class:`MissionRunner` executes a *normalised* mission (see
+:mod:`repro.missions.validate`) deterministically through
+:class:`~repro.system.NemesisSystem` and emits a schema-versioned
+PASS/FAIL report:
+
+* each ``[[runs]]`` entry builds one fresh system (topology overrides
+  merged), constructs the workload domains in declared order, installs
+  the fault/behaviour plans, spawns the scenario drivers, then runs
+  the phase timeline (optional populate, settle, one measurement
+  window, optional drain wait) and collects a full result payload;
+* every ``[[expect]]`` invariant is evaluated against the payloads
+  into a per-invariant verdict;
+* the **injection audit** checks that every declared fault/behaviour
+  rule with ``must_fire`` was actually observed firing (via the
+  injectors' ``observed`` sets — draws are pure, so observation is
+  free); a mission whose storm never happened FAILS as *vacuous*
+  rather than passing by accident;
+* with ``[determinism] repeat`` set, that run is executed a second
+  time and the two payloads compared byte-for-byte as canonical JSON.
+
+Construction order deliberately mirrors the bespoke scenario runners
+this plane replaced (system -> domains in declared order -> plans ->
+drivers -> settle -> snapshot -> measure), so a ported mission
+reproduces the bespoke numbers *exactly* on the same seed — the
+equivalence tests hold the mission plane to that.
+
+Reports contain no wall-clock values: the same mission always yields
+the same bytes (the golden-report tests pin one per corpus family).
+"""
+
+import json
+from hashlib import blake2b
+
+from repro.apps.fsclient import FileSystemClient
+from repro.apps.pager_app import PagingApplication
+from repro.faults import behavior_plan_from_config, plan_from_config
+from repro.hw.mmu import AccessKind
+from repro.hw.platform import Machine
+from repro.kernel.threads import Touch, Wait
+from repro.missions.schema import REPORT_SCHEMA_VERSION
+from repro.sched.atropos import QoSSpec
+from repro.sim.units import MS, SEC
+from repro.system import NemesisSystem
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class MissionRunError(RuntimeError):
+    """A mission failed to *execute* (as opposed to failing a verdict):
+    populate limit tripped, conflicting fault plans, and the like."""
+
+
+# ---------------------------------------------------------------------------
+# Scenario thread bodies (the drivers' moving parts)
+# ---------------------------------------------------------------------------
+
+
+def _hostile_main(system, stretch, name):
+    """Map every grabbed frame (so transparent revocation finds nothing
+    unused), then sit silently forever."""
+    for va in stretch.pages():
+        yield Touch(va, AccessKind.WRITE)
+    yield Wait(system.sim.event("%s.idle" % name))   # never triggered
+
+
+def _sampler(system, clients, min_alloc, period):
+    """Record the minimum frames each sampled client ever held."""
+    while True:
+        yield system.sim.timeout(period)
+        for name, client in clients.items():
+            min_alloc[name] = min(min_alloc[name], client.allocated)
+
+
+def _claim(system, client, driver, results):
+    """The pressure trigger: a frames request at ``at_sec`` — under
+    overcommit it must succeed via the revocation escalation."""
+    yield system.sim.timeout(int(driver["at_sec"] * SEC))
+    granted = yield client.request_frames(driver["frames"])
+    results["claims"].append(len(granted))
+
+
+def _waves(system, donors, claim_client, driver, results):
+    """Alternating donor->claimant transfers: each forces intrusive
+    revocation of dirty optimistic frames (clean-before-release)."""
+    yield system.sim.timeout(int(driver["start_sec"] * SEC))
+    for _ in range(driver["per_donor"]):
+        for donor in donors:
+            pfns = yield system.frames_allocator.transfer(
+                donor.app.frames, claim_client, driver["frames"])
+            results["transfers"].append(len(pfns))
+            for pfn in pfns:     # churn: the claimant only needed proof
+                claim_client.free(pfn)
+            yield system.sim.timeout(int(driver["period_sec"] * SEC))
+
+
+# ---------------------------------------------------------------------------
+# Small helpers
+# ---------------------------------------------------------------------------
+
+
+def _qos(domain):
+    return QoSSpec(period_ns=domain["period_ms"] * MS,
+                   slice_ns=int(round(domain["slice_ms"] * MS)),
+                   extra=False, laxity_ns=domain["laxity_ms"] * MS)
+
+
+def _trace_digest(trace):
+    """Stable digest of the frames-allocator event trace."""
+    digest = blake2b(digest_size=16)
+    for event in trace.events:
+        digest.update(repr((event.time, event.kind, event.client,
+                            event.duration,
+                            sorted(event.info.items()))).encode())
+    return digest.hexdigest()
+
+
+def _counter_total(system, name):
+    return sum(system.metrics.counter(name).series().values())
+
+
+def _swap_clients(driver):
+    """The USD client(s) behind a driver's swap (1 for SFS, N for a
+    multi-volume backing)."""
+    swap = driver.swap
+    attachments = getattr(swap, "attachments", None)
+    if attachments is not None:
+        return list(attachments())
+    return [swap.channel.usd_client]
+
+
+def canonical(value):
+    """Deep-copy ``value`` with every dict's keys sorted (and tuples
+    listified), so ``json.dumps`` without ``sort_keys`` already emits
+    canonical bytes. The key-order test pins this property."""
+    if isinstance(value, dict):
+        return {key: canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    return value
+
+
+def report_json(report):
+    """The canonical report serialisation (what golden tests compare)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _fault_rule_config(rule, extent=None, now=0):
+    """Mission fault rule -> :func:`repro.faults.rule_from_config` dict.
+
+    ``extent`` scopes the rule to one swap extent's LBA range (or, for
+    explicit ``blocks``, its first LBAs); ``now`` anchors
+    ``during='measure'`` windows.
+    """
+    config = {"kind": rule["kind"], "rate": rule["rate"]}
+    if rule["op"]:
+        config["op"] = rule["op"]
+    if extent is not None:
+        if rule["blocks"]:
+            config["blocks"] = tuple(extent.start + index
+                                     for index in range(rule["blocks"]))
+        else:
+            config["lba_start"] = extent.start
+            config["lba_end"] = extent.end
+    else:
+        if rule["lba_start"]:
+            config["lba_start"] = rule["lba_start"]
+        if rule["lba_end"] != -1:
+            config["lba_end"] = rule["lba_end"]
+    if rule["during"] == "measure":
+        config["start_ns"] = now
+        if rule["duration_sec"] != -1.0:
+            config["end_ns"] = now + int(rule["duration_sec"] * SEC)
+    else:
+        if rule["start_sec"]:
+            config["start_ns"] = int(rule["start_sec"] * SEC)
+        if rule["end_sec"] != -1.0:
+            config["end_ns"] = int(rule["end_sec"] * SEC)
+    if rule["kind"] == "latency":
+        config["extra_ns"] = rule["extra_ms"] * MS
+    if rule["kind"] == "stuck":
+        config["stuck_ns"] = rule["stuck_ms"] * MS
+    return config
+
+
+def _behavior_rule_config(rule):
+    """Mission behaviour rule -> behavior_rule_from_config dict."""
+    config = {"kind": rule["kind"], "rate": rule["rate"]}
+    if rule["domain"]:
+        config["domain"] = rule["domain"]
+    if rule["start_sec"]:
+        config["start_ns"] = int(rule["start_sec"] * SEC)
+    if rule["end_sec"] != -1.0:
+        config["end_ns"] = int(rule["end_sec"] * SEC)
+    if rule["kind"] == "revoke_slow":
+        config["delay_ns"] = rule["delay_ms"] * MS
+    if rule["kind"] == "revoke_partial":
+        config["fraction"] = rule["fraction"]
+    if rule["kind"] == "alloc_thrash":
+        config["thrash_factor"] = rule["thrash_factor"]
+    return config
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class MissionRunner:
+    """Execute one normalised mission; see the module docstring."""
+
+    def __init__(self, mission):
+        self.mission = mission
+
+    # -- system + workload construction --------------------------------------
+
+    def _build_system(self, topology):
+        kwargs = {
+            "backing": topology["backing"],
+            "revocation_timeout": topology["revocation_timeout_ms"] * MS,
+            "max_revocation_rounds": topology["max_revocation_rounds"],
+        }
+        if topology["machine_mb"]:
+            kwargs["machine"] = Machine(
+                name="pressure-rig",
+                phys_mem_bytes=topology["machine_mb"] * MB)
+        if topology["volumes"]:
+            kwargs["volumes"] = topology["volumes"]
+            kwargs["volume_placement"] = topology["volume_placement"]
+            kwargs["volume_seed"] = (topology["volume_seed"]
+                                     or self.mission["mission"]["seed"])
+        behaviors = self.mission["behaviors"]
+        if behaviors:
+            kwargs["behavior_plan"] = behavior_plan_from_config(
+                self.mission["mission"]["seed"],
+                [_behavior_rule_config(rule) for rule in behaviors])
+        return NemesisSystem(**kwargs)
+
+    def _build_domains(self, system, grabbed):
+        """Construct every workload domain, in declared order; returns
+        {name: handle} (PagingApplication / FileSystemClient / App)."""
+        handles = {}
+        for domain in self.mission["workload"]["domains"]:
+            kind, name = domain["kind"], domain["name"]
+            if kind == "fsclient":
+                handles[name] = FileSystemClient(
+                    system, name, _qos(domain), depth=domain["depth"],
+                    extent_blocks=domain["extent_blocks"])
+            elif kind == "pager":
+                handles[name] = PagingApplication(
+                    system, name, _qos(domain), mode=domain["mode"],
+                    stretch_bytes=domain["stretch_kb"] * KB,
+                    driver_frames=domain["driver_frames"],
+                    swap_bytes=domain["swap_kb"] * KB,
+                    guaranteed_frames=(domain["guaranteed_frames"] or None),
+                    extra_frames=domain["extra_frames"],
+                    driver_kind=domain["driver_kind"],
+                    store=(None if domain["store"] == "sfs" else "usbs"),
+                    prefetch_depth=domain["prefetch_depth"])
+            elif kind == "claimant":
+                handles[name] = system.new_app(
+                    name, guaranteed_frames=domain["guaranteed_frames"],
+                    extra_frames=domain["extra_frames"])
+            else:   # hostile_hog — map every remaining free frame
+                extra = domain["extra_frames"]
+                if extra == -1:
+                    extra = system.machine.total_frames
+                app = system.new_app(
+                    name, guaranteed_frames=domain["guaranteed_frames"],
+                    extra_frames=extra)
+                hog = app.physical_driver()
+                hog.provide_frames(system.machine.total_frames)
+                grabbed[name] = hog.free_frames
+                stretch = app.new_stretch(
+                    grabbed[name] * system.machine.page_size)
+                app.bind(stretch, hog)
+                app.spawn(_hostile_main(system, stretch, name),
+                          name="%s-main" % name)
+                handles[name] = app
+        return handles
+
+    def _pagers(self, handles):
+        """Pager handles, in declared order."""
+        return [(d["name"], handles[d["name"]])
+                for d in self.mission["workload"]["domains"]
+                if d["kind"] == "pager"]
+
+    def _measured(self, handles):
+        """(name, bytes-progress callable) for bandwidth domains."""
+        out = []
+        for domain in self.mission["workload"]["domains"]:
+            handle = handles[domain["name"]]
+            if domain["kind"] == "fsclient":
+                out.append((domain["name"],
+                            lambda h=handle: h.bytes_read))
+            elif domain["kind"] == "pager":
+                out.append((domain["name"],
+                            lambda h=handle: h.bytes_processed))
+        return out
+
+    # -- fault-plan installation ---------------------------------------------
+
+    def _split_rules(self, faults):
+        """Fault rules split by phase: (start-phase, measure-phase),
+        each a list of (mission rule index, rule)."""
+        start, measure = [], []
+        for index, rule in enumerate(faults):
+            (measure if rule["during"] == "measure" else start).append(
+                (index, rule))
+        return start, measure
+
+    def _resolve_target(self, rule, system, handles):
+        """(target key, extent) for one rule — 'disk' or a volume.
+
+        The target key is ``"disk"`` or ``("vol", index)``; ``extent``
+        is set for extent scopes (the victim's swap extent on the
+        system disk) and None otherwise.
+        """
+        scope = rule["scope"]
+        if scope == "disk":
+            return "disk", None
+        prefix, _, victim = scope.partition(":")
+        driver = handles[victim].driver
+        if prefix == "extent":
+            return "disk", driver.swap.extent
+        volume = driver.swap.slots[0].volume
+        return ("vol", volume.index), None
+
+    def _install_plans(self, system, handles, rules, installed,
+                       fault_volumes):
+        """Group ``rules`` (already phase-filtered) by resolved target,
+        build one plan per target and install it. ``installed`` maps
+        target key -> (injector, [mission rule indices]) for the audit.
+        """
+        seed = self.mission["mission"]["seed"]
+        now = system.sim.now
+        grouped = {}    # target key -> ([configs], [mission indices])
+        for index, rule in rules:
+            target, extent = self._resolve_target(rule, system, handles)
+            configs, indices = grouped.setdefault(target, ([], []))
+            configs.append(_fault_rule_config(rule, extent=extent, now=now))
+            indices.append(index)
+            if target != "disk":
+                volume = system.usbs.volumes[target[1]]
+                fault_volumes[rule["scope"]] = volume.name
+        for target in grouped:
+            if target in installed:
+                raise MissionRunError(
+                    "fault rules for %r span both phases; one plan per "
+                    "disk (split the scopes or align 'during')"
+                    % (target,))
+        for target, (configs, indices) in grouped.items():
+            plan = plan_from_config(seed, configs)
+            if target == "disk":
+                injector = system.install_fault_plan(plan)
+            else:
+                injector = system.usbs.install_fault_plan(target[1], plan)
+            installed[target] = (injector, indices)
+
+    # -- one run -------------------------------------------------------------
+
+    def _execute_run(self, run):
+        """Build + run one ``[[runs]]`` entry; returns (payload, fired)
+        where ``fired`` is {"faults": set, "behaviors": set} of mission
+        rule indices observed firing."""
+        mission = self.mission
+        phases = mission["phases"]
+        system = self._build_system(run["topology"])
+        grabbed = {}
+        handles = self._build_domains(system, grabbed)
+        pagers = self._pagers(handles)
+        installed = {}      # target key -> (injector, mission indices)
+        fault_volumes = {}  # scope string -> volume name
+        start_rules, measure_rules = self._split_rules(run["faults"])
+        if start_rules:
+            self._install_plans(system, handles, start_rules, installed,
+                                fault_volumes)
+        # Scenario drivers (declared order; deterministic spawn order).
+        results = {"claims": [], "transfers": []}
+        min_alloc = {}
+        for driver in mission["drivers"]:
+            if driver["kind"] == "sample_min_alloc":
+                clients = {name: handles[name].app.frames
+                           for name in driver["domains"]}
+                for name, client in clients.items():
+                    min_alloc[name] = client.allocated
+                system.sim.spawn(
+                    _sampler(system, clients, min_alloc,
+                             driver["period_ms"] * MS), name="sampler")
+            elif driver["kind"] == "claim":
+                system.sim.spawn(
+                    _claim(system, handles[driver["client"]].frames,
+                           driver, results), name="claim")
+            else:   # waves
+                donors = [handles[name] for name in driver["donors"]]
+                system.sim.spawn(
+                    _waves(system, donors,
+                           handles[driver["claimant"]].frames,
+                           driver, results), name="waves")
+        initial_volumes = self._domain_volumes(pagers)
+        # Phase timeline: populate -> settle -> measure -> drain wait.
+        populate_sec = 0.0
+        if phases["populate"]:
+            while not all(p.populated.triggered for _, p in pagers):
+                if populate_sec >= phases["populate_limit_sec"]:
+                    raise MissionRunError(
+                        "run %r failed to populate within %.0f s "
+                        "(populated: %s)"
+                        % (run["name"], phases["populate_limit_sec"],
+                           {name: p.populated.triggered
+                            for name, p in pagers}))
+                system.run_for(1 * SEC)
+                populate_sec += 1.0
+        system.run_for(int(phases["settle_sec"] * SEC))
+        if measure_rules:
+            self._install_plans(system, handles, measure_rules, installed,
+                                fault_volumes)
+        measured = self._measured(handles)
+        start_bytes = {name: progress() for name, progress in measured}
+        charged0 = {}
+        for name, pager in pagers:
+            for client in _swap_clients(pager.driver):
+                if hasattr(client, "usd"):
+                    charged0[(name, client.usd.name)] = (client.served_ns
+                                                         + client.lax_ns)
+        system.run_for(int(phases["measure_sec"] * SEC))
+        window_ns = phases["measure_sec"] * SEC
+        mbits = {name: (progress() - start_bytes[name]) * 8 / 1e6
+                 / phases["measure_sec"] for name, progress in measured}
+        volume_shares = []
+        for name, pager in pagers:
+            for client in _swap_clients(pager.driver):
+                key = (name, getattr(client, "usd", None)
+                       and client.usd.name)
+                if key not in charged0:
+                    # Attached mid-window (a drain re-placed the
+                    # shard); no full-window share exists for it.
+                    continue
+                charged = (client.served_ns + client.lax_ns
+                           - charged0[key]) / window_ns
+                contract = client.qos.slice_ns / client.qos.period_ns
+                volume_shares.append({
+                    "app": name,
+                    "volume": client.usd.name,
+                    "charged": round(charged, 4),
+                    "contract": round(contract, 4),
+                    "relative_error": round(abs(charged / contract - 1), 4),
+                })
+        # Drains only happen under a volume storm, so the wait is
+        # scoped to runs that installed one (a clean run would just
+        # burn drain_limit_sec of simulated time waiting for nothing).
+        drain_wait_sec = 0.0
+        if phases["wait_drains"] and system.usbs is not None \
+                and fault_volumes:
+            while (system.usbs.drains_done < phases["wait_drains"]
+                   and drain_wait_sec < phases["drain_limit_sec"]):
+                system.run_for(1 * SEC)
+                drain_wait_sec += 1.0
+        payload = self._collect(system, run, handles, pagers, mbits,
+                                volume_shares, min_alloc, results,
+                                grabbed, initial_volumes, fault_volumes,
+                                populate_sec, drain_wait_sec)
+        fired = {"faults": set(), "behaviors": set()}
+        for injector, indices in installed.values():
+            if injector is None:
+                continue
+            fired["faults"].update(indices[i] for i in injector.observed)
+        if system.behavior_injector is not None:
+            fired["behaviors"].update(system.behavior_injector.observed)
+        return payload, fired
+
+    def _domain_volumes(self, pagers):
+        """{pager name: [volume names of its shards]} (USBS only)."""
+        out = {}
+        for name, pager in pagers:
+            slots = getattr(pager.driver.swap, "slots", None)
+            if slots is not None:
+                out[name] = [slot.volume.name for slot in slots]
+        return out
+
+    def _collect(self, system, run, handles, pagers, mbits, volume_shares,
+                 min_alloc, results, grabbed, initial_volumes,
+                 fault_volumes, populate_sec, drain_wait_sec):
+        """Everything any invariant might ask about, one dict."""
+        mission = self.mission
+        kills_family = system.metrics.counter("frames_kills_total")
+        kills = {}
+        for domain in mission["workload"]["domains"]:
+            count = kills_family.get(domain=domain["name"])
+            if count:
+                kills[domain["name"]] = count
+        domains = {}
+        for name, pager in pagers:
+            clients = _swap_clients(pager.driver)
+            swap = pager.driver.swap
+            lost = getattr(swap, "lost_bloks", None)
+            domains[name] = {
+                "usd_retries": sum(c.retries for c in clients),
+                "usd_failures": sum(c.failures for c in clients),
+                "sfs_remaps": getattr(swap, "remaps", 0),
+                "pages_lost": getattr(pager.driver, "pages_lost", 0),
+                "pageouts": getattr(pager.driver, "pageouts", 0),
+                "watchdog_kills": pager.app.mmentry.watchdog_kills,
+                "lost_bloks": lost() if lost is not None else [],
+                "alive": not pager.main_thread.done.triggered,
+            }
+        stats = {
+            "faults_injected": (system.fault_injector.injected
+                                if system.fault_injector else 0),
+            "behavior_faults": _counter_total(
+                system, "behavior_faults_injected_total"),
+            "revocation_rounds": _counter_total(
+                system, "frames_revocation_rounds_total"),
+            "revocation_cleans": _counter_total(
+                system, "frames_revocation_cleans_total"),
+        }
+        volumes = {}
+        if system.usbs is not None:
+            manager = system.usbs
+            volumes = {
+                "exposure": manager.fault_exposure_by_volume(),
+                "states": {volume.name: volume.state
+                           for volume in manager.volumes},
+                "drains_done": manager.drains_done,
+                "stranded": sorted(list(pair)
+                                   for pair in manager.stranded),
+                "initial": initial_volumes,
+                "final": self._domain_volumes(pagers),
+                "fault_volumes": fault_volumes,
+            }
+        return {
+            "mbit": mbits,
+            "aggregate_mbit": round(sum(mbits.values()), 2),
+            "min_allocated": min_alloc,
+            "kills": kills,
+            "claim_granted": (results["claims"][0]
+                              if results["claims"] else None),
+            "transfers": results["transfers"],
+            "hostile_grabbed": grabbed,
+            "domains": domains,
+            "stats": stats,
+            "volumes": volumes,
+            "volume_shares": volume_shares,
+            "populate_sec": populate_sec,
+            "drain_wait_sec": drain_wait_sec,
+            "trace_digest": _trace_digest(system.frames_trace),
+        }
+
+    # -- invariants -----------------------------------------------------------
+
+    def _evaluate(self, check, payloads):
+        """One [[expect]] entry -> verdict dict (check + observed +
+        passed)."""
+        kind = check["check"]
+        all_runs = [run["name"] for run in self.mission["runs"]]
+        targets = check.get("runs") or all_runs
+
+        def verdict(passed, observed):
+            out = dict(check)
+            out["passed"] = bool(passed)
+            out["observed"] = observed
+            return out
+
+        if kind == "bandwidth_retention":
+            base = payloads[check["baseline"]]["mbit"]
+            cur = payloads[check["run"]]["mbit"]
+            retention = {name: (cur[name] / base[name] if base[name]
+                                else 0.0) for name in check["domains"]}
+            if check["floor"] >= 0.0:
+                passed = all(value >= check["floor"]
+                             for value in retention.values())
+            else:
+                passed = all(abs(value - 1.0) <= check["tolerance"]
+                             for value in retention.values())
+            return verdict(passed, {"retention": {
+                name: round(value, 4)
+                for name, value in retention.items()}})
+        if kind == "progress":
+            mbit = payloads[check["run"]]["mbit"]
+            observed = {name: round(mbit[name], 4)
+                        for name in check["domains"]}
+            floor = check["min_mbit"]
+            passed = all(value > 0.0 and value >= floor
+                         for value in observed.values())
+            return verdict(passed, {"mbit": observed})
+        if kind == "kill_set":
+            observed = {name: payloads[name]["kills"] for name in targets}
+            passed = all(payloads[name]["kills"] == check["exactly"]
+                         for name in targets)
+            return verdict(passed, {"kills": observed})
+        if kind == "claim_granted":
+            observed = {name: payloads[name]["claim_granted"]
+                        for name in targets}
+            passed = all(value == check["frames"]
+                         for value in observed.values())
+            return verdict(passed, {"granted": observed})
+        if kind == "min_frames":
+            observed = {name: {d: payloads[name]["min_allocated"][d]
+                               for d in check["domains"]}
+                        for name in targets}
+            passed = all(value >= check["floor"]
+                         for per_run in observed.values()
+                         for value in per_run.values())
+            return verdict(passed, {"min_allocated": observed})
+        if kind == "pages_lost":
+            domains = payloads[check["run"]]["domains"]
+            observed = {d: domains[d]["pages_lost"]
+                        for d in check["domains"]}
+            passed = all(value <= check["max"]
+                         for value in observed.values())
+            return verdict(passed, {"pages_lost": observed})
+        if kind == "scaling":
+            base = payloads[check["baseline"]]["aggregate_mbit"]
+            cur = payloads[check["run"]]["aggregate_mbit"]
+            scaling = cur / base if base else 0.0
+            return verdict(scaling >= check["min"],
+                           {"scaling": round(scaling, 2),
+                            "aggregate": {check["baseline"]: base,
+                                          check["run"]: cur}})
+        if kind == "share_error":
+            shares = payloads[check["run"]]["volume_shares"]
+            worst = max((row["relative_error"] for row in shares),
+                        default=0.0)
+            return verdict(worst <= check["max"],
+                           {"worst_share_error": worst})
+        # The USBS containment family: all need the run's storm volume.
+        payload = payloads[check["run"]]
+        volumes = payload["volumes"]
+        scope = "volume_of:%s" % check["victim_of"]
+        storm_volume = volumes.get("fault_volumes", {}).get(scope)
+        if kind == "exposure_contained":
+            exposure = volumes["exposure"]
+            leaked = {name: count for name, count in exposure.items()
+                      if name != storm_volume and count}
+            return verdict(storm_volume is not None and not leaked,
+                           {"storm_volume": storm_volume,
+                            "exposure": exposure})
+        if kind == "drained":
+            final = volumes["final"].get(check["victim_of"], [])
+            passed = (storm_volume is not None
+                      and volumes["drains_done"] >= check["min_drains"]
+                      and not volumes["stranded"]
+                      and volumes["states"].get(storm_volume) != "healthy"
+                      and bool(final) and storm_volume not in final)
+            return verdict(passed, {
+                "storm_volume": storm_volume,
+                "state": volumes["states"].get(storm_volume),
+                "drains_done": volumes["drains_done"],
+                "stranded": volumes["stranded"],
+                "relocated_to": final})
+        if kind == "losses_contained":
+            observed = {name: len(data["lost_bloks"])
+                        for name, data in payload["domains"].items()
+                        if name != check["victim_of"]
+                        and data["lost_bloks"]}
+            return verdict(not observed, {"lost_elsewhere": observed})
+        raise AssertionError("unknown check %r" % kind)   # pragma: no cover
+
+    # -- audit ----------------------------------------------------------------
+
+    def _audit(self, fired_by_run):
+        """Every must_fire rule observed firing, or the mission is
+        vacuous. Fault rules must fire in the run declaring them;
+        behaviour rules (installed on every run) must fire in each."""
+        mission = self.mission
+        vacuous = []
+        fired_out = {}
+        for run in mission["runs"]:
+            fired = fired_by_run[run["name"]]
+            fired_out[run["name"]] = {
+                "faults": sorted(fired["faults"]),
+                "behaviors": sorted(fired["behaviors"]),
+            }
+            for index, rule in enumerate(run["faults"]):
+                if rule["must_fire"] and index not in fired["faults"]:
+                    vacuous.append(
+                        "%s: faults[%d] (%s on %s) never fired"
+                        % (run["name"], index, rule["kind"],
+                           rule["scope"]))
+            for index, rule in enumerate(mission["behaviors"]):
+                if rule["must_fire"] and index not in fired["behaviors"]:
+                    vacuous.append(
+                        "%s: behaviors[%d] (%s on %s) never fired"
+                        % (run["name"], index, rule["kind"],
+                           rule["domain"] or "<any>"))
+        return {"passed": not vacuous, "fired": fired_out,
+                "vacuous": vacuous}
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(self):
+        """Execute the mission; returns the canonical report dict."""
+        mission = self.mission
+        payloads = {}
+        fired_by_run = {}
+        for run in mission["runs"]:
+            payload, fired = self._execute_run(run)
+            payloads[run["name"]] = payload
+            fired_by_run[run["name"]] = fired
+        invariants = [self._evaluate(check, payloads)
+                      for check in mission["expect"]]
+        audit = self._audit(fired_by_run)
+        reproducible = None
+        repeat = mission["determinism"]["repeat"]
+        if repeat:
+            for run in mission["runs"]:
+                if run["name"] == repeat:
+                    again, _ = self._execute_run(run)
+                    reproducible = (
+                        json.dumps(payloads[repeat], sort_keys=True)
+                        == json.dumps(again, sort_keys=True))
+        passed = (all(entry["passed"] for entry in invariants)
+                  and audit["passed"]
+                  and reproducible is not False)
+        report = {
+            "schema": REPORT_SCHEMA_VERSION,
+            "mission": dict(mission["mission"]),
+            "runs": payloads,
+            "invariants": invariants,
+            "audit": audit,
+            "reproducible": reproducible,
+            "passed": passed,
+        }
+        return canonical(report)
+
+
+def run_mission(mission):
+    """Module-level convenience: validate nothing, just run."""
+    return MissionRunner(mission).run()

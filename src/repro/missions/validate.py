@@ -1,0 +1,670 @@
+"""Mission validation, normalisation and (de)serialisation.
+
+:class:`MissionValidator` turns a raw mission dict (usually parsed
+from TOML) into a *normalised* mission: every field present, every
+default filled, every cross-reference checked. Malformed input raises
+:class:`MissionError`, whose ``path`` names the offending field with
+TOML-style addressing (``workload.domains[1].slice_ms``) — missions
+are data written by humans and generators, so "something was wrong
+somewhere" is not an acceptable failure mode.
+
+Normalised missions are canonical: validating twice is the identity,
+and :func:`serialize_mission` emits TOML that parses and re-validates
+back to the same dict (the property tests prove both round trips).
+"""
+
+import math
+import tomllib
+
+from repro.missions import schema
+from repro.missions.schema import (DOMAIN_KINDS, DRIVER_KINDS,
+                                   EXPECT_KINDS, MISSION_SCHEMA_VERSION)
+
+#: Domain kinds that produce a bandwidth series (and so can appear in
+#: retention/progress invariants).
+_MEASURED_KINDS = ("fsclient", "pager")
+
+
+class MissionError(ValueError):
+    """A mission failed validation; ``path`` names the field."""
+
+    def __init__(self, path, message):
+        self.path = path
+        self.message = message
+        super().__init__("%s: %s" % (path, message))
+
+
+# ---------------------------------------------------------------------------
+# Field-level checks
+# ---------------------------------------------------------------------------
+
+
+def _check_value(field, value, path):
+    """Type/bounds/choices check for one field; returns the
+    normalised value (ints destined for float fields are coerced)."""
+    kind = field.kind
+    if kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MissionError(path, "expected an integer, got %r" % (value,))
+    elif kind == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MissionError(path, "expected a number, got %r" % (value,))
+        value = float(value)
+        if not math.isfinite(value):
+            raise MissionError(path, "must be finite, got %r" % (value,))
+    elif kind == "bool":
+        if not isinstance(value, bool):
+            raise MissionError(path, "expected a boolean, got %r" % (value,))
+    elif kind == "str":
+        if not isinstance(value, str):
+            raise MissionError(path, "expected a string, got %r" % (value,))
+    elif kind == "str_list":
+        if not isinstance(value, list) or any(
+                not isinstance(item, str) for item in value):
+            raise MissionError(path,
+                               "expected a list of strings, got %r"
+                               % (value,))
+        value = list(value)
+    elif kind == "int_table":
+        if not isinstance(value, dict):
+            raise MissionError(path, "expected a table, got %r" % (value,))
+        for key, count in value.items():
+            if not isinstance(key, str):
+                raise MissionError(path, "table keys must be strings")
+            if isinstance(count, bool) or not isinstance(count, int) \
+                    or count < 0:
+                raise MissionError(
+                    "%s.%s" % (path, key),
+                    "expected a non-negative integer, got %r" % (count,))
+        value = dict(value)
+    else:  # pragma: no cover - spec bug, not user input
+        raise AssertionError("unknown field kind %r" % kind)
+    if field.choices is not None and value not in field.choices:
+        raise MissionError(path, "must be one of %s, got %r"
+                           % (list(field.choices), value))
+    if field.min is not None and kind in ("int", "float") \
+            and value < field.min:
+        raise MissionError(path, "must be >= %s, got %r"
+                           % (field.min, value))
+    if field.max is not None and kind in ("int", "float") \
+            and value > field.max:
+        raise MissionError(path, "must be <= %s, got %r"
+                           % (field.max, value))
+    return value
+
+
+def _default(field):
+    """The normalised default value for an optional field."""
+    if field.kind == "str_list":
+        return list(field.default)
+    if field.kind == "int_table":
+        return dict(field.default) if field.default else {}
+    if field.kind == "float":
+        return float(field.default)
+    return field.default
+
+
+def _section(raw, fields, path, partial=False):
+    """Validate a table against a field tuple; returns the normalised
+    dict. ``partial=True`` (run-level topology overrides) skips
+    required-field and default filling for absent fields."""
+    if raw is None:
+        raw = {}
+    if not isinstance(raw, dict):
+        raise MissionError(path, "expected a table, got %r" % (raw,))
+    known = {field.name: field for field in fields}
+    for key in raw:
+        if key not in known:
+            raise MissionError("%s.%s" % (path, key),
+                               "unknown field (known: %s)"
+                               % ", ".join(sorted(known)))
+    out = {}
+    for field in fields:
+        if field.name in raw:
+            out[field.name] = _check_value(field, raw[field.name],
+                                           "%s.%s" % (path, field.name))
+        elif partial:
+            continue
+        elif field.required:
+            raise MissionError("%s.%s" % (path, field.name),
+                               "required field is missing")
+        else:
+            out[field.name] = _default(field)
+    return out
+
+
+def _kinded_entry(raw, kinds, key, path):
+    """Validate one array-of-tables entry that is discriminated by a
+    ``kind``-like field (``key``) plus, for domains, a ``name``."""
+    if not isinstance(raw, dict):
+        raise MissionError(path, "expected a table, got %r" % (raw,))
+    discriminator = raw.get(key)
+    if not isinstance(discriminator, str) or discriminator not in kinds:
+        raise MissionError("%s.%s" % (path, key),
+                           "must be one of %s, got %r"
+                           % (sorted(kinds), discriminator))
+    fields = kinds[discriminator]
+    body = {k: v for k, v in raw.items() if k not in (key, "name")}
+    out = _section(body, fields, path)
+    if "name" in raw:
+        name = raw["name"]
+        if not isinstance(name, str) or not name or len(name) > 64 \
+                or any(c in name for c in "\n\r\t"):
+            raise MissionError("%s.name" % path,
+                               "expected a short printable string, got %r"
+                               % (name,))
+        normalised = {key: discriminator, "name": name}
+    else:
+        normalised = {key: discriminator}
+    normalised.update(out)
+    return normalised
+
+
+# ---------------------------------------------------------------------------
+# The validator
+# ---------------------------------------------------------------------------
+
+
+class MissionValidator:
+    """Validate and normalise missions (see the module docstring)."""
+
+    def validate(self, raw):
+        """Raw mission dict -> normalised mission dict, or raise
+        :class:`MissionError` naming the offending field path."""
+        if not isinstance(raw, dict):
+            raise MissionError("<root>", "mission must be a table, got %r"
+                               % (raw,))
+        known = ("schema",) + schema.SECTION_ORDER
+        for key in raw:
+            if key not in known:
+                raise MissionError(key, "unknown section (known: %s)"
+                                   % ", ".join(known))
+        version = raw.get("schema")
+        if version != MISSION_SCHEMA_VERSION:
+            raise MissionError("schema", "expected schema = %d, got %r"
+                               % (MISSION_SCHEMA_VERSION, version))
+        mission = _section(raw.get("mission"), schema.MISSION_FIELDS,
+                           "mission")
+        name = mission["name"]
+        if not name or len(name) > 64 or any(c in name for c in "\n\r\t "):
+            raise MissionError("mission.name",
+                               "expected a short identifier (no spaces), "
+                               "got %r" % (name,))
+        topology = _section(raw.get("topology"), schema.TOPOLOGY_FIELDS,
+                            "topology")
+        domains = self._domains(raw.get("workload"))
+        drivers = self._drivers(raw.get("drivers"), domains)
+        behaviors = self._behaviors(raw.get("behaviors"), domains)
+        phases = _section(raw.get("phases"), schema.PHASES_FIELDS, "phases")
+        runs = self._runs(raw.get("runs"), topology, domains, phases)
+        determinism = _section(raw.get("determinism"),
+                               schema.DETERMINISM_FIELDS, "determinism")
+        run_names = [run["name"] for run in runs]
+        if determinism["repeat"] and determinism["repeat"] not in run_names:
+            raise MissionError("determinism.repeat",
+                               "names no run (runs: %s)"
+                               % ", ".join(run_names))
+        expect = self._expect(raw.get("expect"), domains, drivers, runs)
+        if phases["populate"] and not any(
+                d["kind"] == "pager" for d in domains):
+            raise MissionError("phases.populate",
+                               "populate requires at least one pager domain")
+        return {
+            "schema": MISSION_SCHEMA_VERSION,
+            "mission": mission,
+            "topology": topology,
+            "workload": {"domains": domains},
+            "drivers": drivers,
+            "behaviors": behaviors,
+            "phases": phases,
+            "runs": runs,
+            "determinism": determinism,
+            "expect": expect,
+        }
+
+    # -- sections ------------------------------------------------------------
+
+    def _domains(self, raw):
+        if raw is None:
+            raise MissionError("workload", "required section is missing")
+        if not isinstance(raw, dict):
+            raise MissionError("workload", "expected a table, got %r"
+                               % (raw,))
+        for key in raw:
+            if key != "domains":
+                raise MissionError("workload.%s" % key,
+                                   "unknown field (known: domains)")
+        entries = raw.get("domains")
+        if not isinstance(entries, list) or not entries:
+            raise MissionError("workload.domains",
+                               "expected a non-empty array of tables")
+        domains = []
+        seen = set()
+        for index, entry in enumerate(entries):
+            path = "workload.domains[%d]" % index
+            if isinstance(entry, dict) and "name" not in entry:
+                raise MissionError("%s.name" % path,
+                                   "required field is missing")
+            domain = _kinded_entry(entry, DOMAIN_KINDS, "kind", path)
+            if domain["name"] in seen:
+                raise MissionError("%s.name" % path,
+                                   "duplicate domain name %r"
+                                   % domain["name"])
+            seen.add(domain["name"])
+            domains.append(domain)
+        return domains
+
+    def _drivers(self, raw, domains):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("drivers", "expected an array of tables")
+        by_name = {d["name"]: d for d in domains}
+
+        def _ref(path, name, kinds):
+            if name not in by_name:
+                raise MissionError(path, "names no workload domain: %r"
+                                   % (name,))
+            if by_name[name]["kind"] not in kinds:
+                raise MissionError(path, "%r must be a %s domain"
+                                   % (name, "/".join(kinds)))
+
+        drivers = []
+        for index, entry in enumerate(raw):
+            path = "drivers[%d]" % index
+            driver = _kinded_entry(entry, DRIVER_KINDS, "kind", path)
+            if driver["kind"] == "claim":
+                _ref("%s.client" % path, driver["client"], ("claimant",))
+            elif driver["kind"] == "waves":
+                if not driver["donors"]:
+                    raise MissionError("%s.donors" % path,
+                                       "expected at least one donor")
+                for donor in driver["donors"]:
+                    _ref("%s.donors" % path, donor, ("pager",))
+                _ref("%s.claimant" % path, driver["claimant"],
+                     ("claimant",))
+            else:  # sample_min_alloc
+                if not driver["domains"]:
+                    raise MissionError("%s.domains" % path,
+                                       "expected at least one domain")
+                for name in driver["domains"]:
+                    _ref("%s.domains" % path, name, ("pager",))
+            drivers.append(driver)
+        return drivers
+
+    def _behaviors(self, raw, domains):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("behaviors", "expected an array of tables")
+        names = {d["name"] for d in domains}
+        rules = []
+        for index, entry in enumerate(raw):
+            path = "behaviors[%d]" % index
+            rule = _section(entry, schema.BEHAVIOR_FIELDS, path)
+            if rule["domain"] and rule["domain"] not in names:
+                raise MissionError("%s.domain" % path,
+                                   "names no workload domain: %r"
+                                   % rule["domain"])
+            if rule["end_sec"] != -1.0 and rule["end_sec"] <= rule["start_sec"]:
+                raise MissionError("%s.end_sec" % path,
+                                   "must be after start_sec (or -1)")
+            rules.append(rule)
+        return rules
+
+    def _runs(self, raw, topology, domains, phases):
+        if not isinstance(raw, list) or not raw:
+            raise MissionError("runs", "expected a non-empty array of tables")
+        pagers = {d["name"]: d for d in domains if d["kind"] == "pager"}
+        runs = []
+        seen = set()
+        for index, entry in enumerate(raw):
+            path = "runs[%d]" % index
+            if not isinstance(entry, dict):
+                raise MissionError(path, "expected a table, got %r"
+                                   % (entry,))
+            for key in entry:
+                if key not in ("name", "topology", "faults"):
+                    raise MissionError("%s.%s" % (path, key),
+                                       "unknown field (known: name, "
+                                       "topology, faults)")
+            name = entry.get("name")
+            if not isinstance(name, str) or not name or len(name) > 64 \
+                    or any(c in name for c in "\n\r\t "):
+                raise MissionError("%s.name" % path,
+                                   "expected a short identifier, got %r"
+                                   % (name,))
+            if name in seen:
+                raise MissionError("%s.name" % path,
+                                   "duplicate run name %r" % name)
+            seen.add(name)
+            overrides = _section(entry.get("topology"),
+                                 schema.TOPOLOGY_FIELDS,
+                                 "%s.topology" % path, partial=True)
+            merged = dict(topology)
+            merged.update(overrides)
+            if any(d["store"] == "usbs" for d in pagers.values()) \
+                    and merged["volumes"] < 1:
+                raise MissionError("%s.topology.volumes" % path,
+                                   "workload uses store='usbs' but this "
+                                   "run has no volumes")
+            faults = self._faults(entry.get("faults"), path, pagers, merged)
+            runs.append({"name": name, "topology": merged,
+                         "faults": faults})
+        if phases["wait_drains"] and all(
+                run["topology"]["volumes"] < 2 for run in runs):
+            raise MissionError("phases.wait_drains",
+                               "waiting for drains needs a run with >= 2 "
+                               "volumes")
+        return runs
+
+    def _faults(self, raw, run_path, pagers, topology):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("%s.faults" % run_path,
+                               "expected an array of tables")
+        rules = []
+        during_by_target = {}
+        for index, entry in enumerate(raw):
+            path = "%s.faults[%d]" % (run_path, index)
+            rule = _section(entry, schema.FAULT_FIELDS, path)
+            scope = rule["scope"]
+            if scope == "disk":
+                target = "disk"
+            elif scope.startswith("extent:") or scope.startswith(
+                    "volume_of:"):
+                prefix, _, victim = scope.partition(":")
+                if victim not in pagers:
+                    raise MissionError("%s.scope" % path,
+                                       "names no pager domain: %r" % victim)
+                store = pagers[victim]["store"]
+                if prefix == "extent" and store != "sfs":
+                    raise MissionError("%s.scope" % path,
+                                       "extent scope needs %r on the "
+                                       "single-disk store (store='sfs')"
+                                       % victim)
+                if prefix == "volume_of":
+                    if store != "usbs":
+                        raise MissionError("%s.scope" % path,
+                                           "volume_of scope needs %r on "
+                                           "store='usbs'" % victim)
+                    if topology["volumes"] < 1:
+                        raise MissionError("%s.scope" % path,
+                                           "volume_of scope needs volumes "
+                                           ">= 1 in this run")
+                target = "disk" if prefix == "extent" else scope
+            else:
+                raise MissionError("%s.scope" % path,
+                                   "must be 'disk', 'extent:<domain>' or "
+                                   "'volume_of:<domain>', got %r" % scope)
+            if rule["blocks"] and rule["kind"] != "bad_block":
+                raise MissionError("%s.blocks" % path,
+                                   "explicit blocks are only for "
+                                   "kind='bad_block'")
+            if rule["blocks"] and not scope.startswith("extent:"):
+                raise MissionError("%s.blocks" % path,
+                                   "blocks count needs an extent scope")
+            if rule["during"] == "measure":
+                if rule["start_sec"] != 0.0 or rule["end_sec"] != -1.0:
+                    raise MissionError("%s.during" % path,
+                                       "during='measure' computes its own "
+                                       "window; leave start_sec/end_sec "
+                                       "unset")
+                if rule["duration_sec"] != -1.0 \
+                        and rule["duration_sec"] <= 0.0:
+                    raise MissionError("%s.duration_sec" % path,
+                                       "must be > 0 (or -1 for 'to end of "
+                                       "run')")
+            else:
+                if rule["duration_sec"] != -1.0:
+                    raise MissionError("%s.duration_sec" % path,
+                                       "only valid with during='measure'")
+                if rule["end_sec"] != -1.0 \
+                        and rule["end_sec"] <= rule["start_sec"]:
+                    raise MissionError("%s.end_sec" % path,
+                                       "must be after start_sec (or -1)")
+            if rule["lba_end"] != -1 and rule["lba_end"] <= rule["lba_start"]:
+                raise MissionError("%s.lba_end" % path,
+                                   "must be after lba_start (or -1)")
+            if scope != "disk" and (rule["lba_start"] or rule["lba_end"]
+                                    != -1):
+                raise MissionError("%s.lba_start" % path,
+                                   "explicit LBA bounds are only for "
+                                   "scope='disk'")
+            earlier = during_by_target.setdefault(target, rule["during"])
+            if earlier != rule["during"]:
+                raise MissionError("%s.during" % path,
+                                   "all rules on the same disk must share "
+                                   "one 'during' (one plan per disk)")
+            rules.append(rule)
+        return rules
+
+    def _expect(self, raw, domains, drivers, runs):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("expect", "expected an array of tables")
+        by_name = {d["name"]: d for d in domains}
+        run_names = [run["name"] for run in runs]
+        runs_by_name = {run["name"]: run for run in runs}
+        has_claim = any(d["kind"] == "claim" for d in drivers)
+        sampled = set()
+        for driver in drivers:
+            if driver["kind"] == "sample_min_alloc":
+                sampled.update(driver["domains"])
+        checks = []
+        for index, entry in enumerate(raw):
+            path = "expect[%d]" % index
+            check = _kinded_entry(entry, EXPECT_KINDS, "check", path)
+
+            def _run_ref(field_name, value):
+                if value not in runs_by_name:
+                    raise MissionError("%s.%s" % (path, field_name),
+                                       "names no run (runs: %s)"
+                                       % ", ".join(run_names))
+                return runs_by_name[value]
+
+            def _domain_refs(field_name, names, kinds):
+                if not names:
+                    raise MissionError("%s.%s" % (path, field_name),
+                                       "expected at least one domain")
+                for ref in names:
+                    if ref not in by_name:
+                        raise MissionError("%s.%s" % (path, field_name),
+                                           "names no workload domain: %r"
+                                           % (ref,))
+                    if by_name[ref]["kind"] not in kinds:
+                        raise MissionError("%s.%s" % (path, field_name),
+                                           "%r must be a %s domain"
+                                           % (ref, "/".join(kinds)))
+
+            kind = check["check"]
+            if kind == "bandwidth_retention":
+                _run_ref("run", check["run"])
+                _run_ref("baseline", check["baseline"])
+                _domain_refs("domains", check["domains"], _MEASURED_KINDS)
+                set_floor = check["floor"] >= 0.0
+                set_tol = check["tolerance"] >= 0.0
+                if set_floor == set_tol:
+                    raise MissionError("%s.floor" % path,
+                                       "set exactly one of floor/tolerance")
+            elif kind == "progress":
+                _run_ref("run", check["run"])
+                _domain_refs("domains", check["domains"], _MEASURED_KINDS)
+            elif kind in ("kill_set", "claim_granted", "min_frames"):
+                for ref in check["runs"]:
+                    _run_ref("runs", ref)
+                if kind == "claim_granted" and not has_claim:
+                    raise MissionError("%s.check" % path,
+                                       "claim_granted needs a claim driver")
+                if kind == "min_frames":
+                    _domain_refs("domains", check["domains"], ("pager",))
+                    missing = [d for d in check["domains"]
+                               if d not in sampled]
+                    if missing:
+                        raise MissionError(
+                            "%s.domains" % path,
+                            "%s not covered by a sample_min_alloc driver"
+                            % ", ".join(missing))
+                if kind == "kill_set":
+                    for ref in check["exactly"]:
+                        if ref not in by_name:
+                            raise MissionError("%s.exactly" % path,
+                                               "names no workload domain: "
+                                               "%r" % (ref,))
+            elif kind == "pages_lost":
+                _run_ref("run", check["run"])
+                _domain_refs("domains", check["domains"], ("pager",))
+            elif kind == "scaling":
+                _run_ref("run", check["run"])
+                _run_ref("baseline", check["baseline"])
+            elif kind == "share_error":
+                run = _run_ref("run", check["run"])
+                if run["topology"]["volumes"] < 1:
+                    raise MissionError("%s.run" % path,
+                                       "share_error needs a run with "
+                                       "volumes >= 1")
+            else:  # exposure_contained / drained / losses_contained
+                run = _run_ref("run", check["run"])
+                _domain_refs("victim_of", [check["victim_of"]], ("pager",))
+                if by_name[check["victim_of"]]["store"] != "usbs":
+                    raise MissionError("%s.victim_of" % path,
+                                       "%r must page through store='usbs'"
+                                       % check["victim_of"])
+                need = 2 if kind == "drained" else 1
+                if run["topology"]["volumes"] < need:
+                    raise MissionError("%s.run" % path,
+                                       "%s needs a run with volumes >= %d"
+                                       % (kind, need))
+            checks.append(check)
+        return checks
+
+
+_VALIDATOR = MissionValidator()
+
+
+def validate_mission(raw):
+    """Module-level convenience for ``MissionValidator().validate``."""
+    return _VALIDATOR.validate(raw)
+
+
+def loads_mission(text):
+    """Parse TOML text and validate; returns the normalised mission."""
+    try:
+        raw = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise MissionError("<toml>", "not valid TOML: %s" % exc) from exc
+    return validate_mission(raw)
+
+
+def load_mission(path):
+    """Read, parse and validate one mission file."""
+    with open(path, "rb") as fh:
+        text = fh.read().decode("utf-8")
+    return loads_mission(text)
+
+
+# ---------------------------------------------------------------------------
+# Serialisation (canonical TOML)
+# ---------------------------------------------------------------------------
+
+_BARE_KEY = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+
+def _toml_key(key):
+    if key and set(key) <= _BARE_KEY:
+        return key
+    return _toml_str(key)
+
+
+def _toml_str(value):
+    out = ['"']
+    for char in value:
+        if char in ('"', "\\"):
+            out.append("\\" + char)
+        elif char == "\n":
+            out.append("\\n")
+        elif ord(char) < 0x20 or ord(char) == 0x7f:
+            out.append("\\u%04x" % ord(char))
+        else:
+            out.append(char)
+    out.append('"')
+    return "".join(out)
+
+
+def _toml_value(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        if "." not in text and "e" not in text and "n" not in text:
+            text += ".0"
+        return text
+    if isinstance(value, str):
+        return _toml_str(value)
+    if isinstance(value, list):
+        return "[%s]" % ", ".join(_toml_value(item) for item in value)
+    if isinstance(value, dict):
+        if not value:
+            return "{}"
+        return "{ %s }" % ", ".join(
+            "%s = %s" % (_toml_key(k), _toml_value(v))
+            for k, v in value.items())
+    raise TypeError("cannot serialise %r" % (value,))
+
+
+def _emit_pairs(lines, table):
+    for key, value in table.items():
+        lines.append("%s = %s" % (_toml_key(key), _toml_value(value)))
+
+
+def serialize_mission(mission):
+    """Normalised mission dict -> canonical TOML text.
+
+    Only accepts *normalised* missions (every field explicit); the
+    output parses with :mod:`tomllib` and re-validates to the same
+    dict.
+    """
+    lines = ["schema = %d" % mission["schema"], ""]
+    for section in ("mission", "topology"):
+        lines.append("[%s]" % section)
+        _emit_pairs(lines, mission[section])
+        lines.append("")
+    for domain in mission["workload"]["domains"]:
+        lines.append("[[workload.domains]]")
+        _emit_pairs(lines, domain)
+        lines.append("")
+    for driver in mission["drivers"]:
+        lines.append("[[drivers]]")
+        _emit_pairs(lines, driver)
+        lines.append("")
+    for rule in mission["behaviors"]:
+        lines.append("[[behaviors]]")
+        _emit_pairs(lines, rule)
+        lines.append("")
+    lines.append("[phases]")
+    _emit_pairs(lines, mission["phases"])
+    lines.append("")
+    for run in mission["runs"]:
+        lines.append("[[runs]]")
+        lines.append("name = %s" % _toml_str(run["name"]))
+        lines.append("")
+        lines.append("[runs.topology]")
+        _emit_pairs(lines, run["topology"])
+        lines.append("")
+        for rule in run["faults"]:
+            lines.append("[[runs.faults]]")
+            _emit_pairs(lines, rule)
+            lines.append("")
+    lines.append("[determinism]")
+    _emit_pairs(lines, mission["determinism"])
+    lines.append("")
+    for check in mission["expect"]:
+        lines.append("[[expect]]")
+        _emit_pairs(lines, check)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

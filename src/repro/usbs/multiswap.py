@@ -246,6 +246,13 @@ class MultiVolumeSwap:
         return [(slot.volume, slot.shard.channel.usd_client)
                 for slot in self.slots]
 
+    def lost_bloks(self):
+        """Sorted ``[slot index, local blok]`` pairs for every blok
+        recorded lost. ``self.lost`` is a set, so anything feeding a
+        report must come through here — set iteration order is not part
+        of the deterministic surface."""
+        return [list(pair) for pair in sorted(self.lost)]
+
     @property
     def extents(self):
         """The active shards' extents (one per stripe slot)."""

@@ -1,0 +1,128 @@
+"""The ``repro.exp sweep`` CLI: corpus lint, parallel execution, and
+the aggregate ``sweep.json`` contract.
+
+The heavy corpus itself runs in CI via ``make sweep-smoke``; these
+tests exercise the machinery on sub-second missions — discovery,
+up-front lint abort, worker-pool execution, smoke/name filtering, and
+the aggregate's canonical layout.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exp import sweep
+from repro.missions import serialize_mission
+from tests.test_missions_runner import REPO, tiny_mission
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    """Two valid tiny missions on disk (one marked smoke)."""
+    directory = tmp_path / "missions"
+    directory.mkdir()
+    smoke = tiny_mission(name="tiny-smoke", seed=3)
+    smoke["mission"]["smoke"] = True
+    for mission in (tiny_mission(name="tiny-full", seed=5), smoke):
+        path = directory / ("%s.toml" % mission["mission"]["name"])
+        path.write_text(serialize_mission(mission), encoding="utf-8")
+    return directory
+
+
+class TestLint:
+    def test_committed_corpus_is_valid(self, monkeypatch, capsys):
+        """Every mission file shipped in the repo lints clean."""
+        monkeypatch.chdir(REPO)
+        assert sweep.main(["--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "mission files validated" in out
+
+    def test_invalid_file_aborts_with_field_path(self, corpus, capsys):
+        """A malformed mission aborts the sweep before any run, and
+        the error names the offending file and field path."""
+        bad = corpus / "broken.toml"
+        bad.write_text('schema = 1\n[mission]\nname = "broken"\n'
+                       'family = "chaos"\nseed = "x"\n',
+                       encoding="utf-8")
+        code = sweep.main(["--lint", "--missions", str(corpus)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out and "broken.toml" in out
+        assert "mission.seed" in out
+
+    def test_unknown_mission_name_rejected(self, corpus, capsys):
+        code = sweep.main(["--missions", str(corpus), "nosuch"])
+        assert code == 1
+        assert "unknown mission" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_parallel_sweep_writes_reports_and_aggregate(
+            self, corpus, tmp_path, capsys):
+        """Two missions on two workers: per-mission reports land in
+        <out>/missions/, the aggregate in <out>/sweep.json, exit 0."""
+        out = tmp_path / "results"
+        code = sweep.main(["--missions", str(corpus), "--jobs", "2",
+                           "--out", str(out)])
+        assert code == 0
+        with open(out / "sweep.json", encoding="utf-8") as fh:
+            aggregate = json.load(fh)
+        assert aggregate["schema_version"] == sweep.SWEEP_SCHEMA_VERSION
+        assert aggregate["jobs"] == 2
+        assert aggregate["passed"] is True
+        assert aggregate["counts"] == {
+            "total": 2, "passed": 2, "failed": 0, "vacuous": 0}
+        names = [row["name"] for row in aggregate["missions"]]
+        assert names == sorted(names) == ["tiny-full", "tiny-smoke"]
+        for name in names:
+            with open(out / "missions" / ("%s.json" % name),
+                      encoding="utf-8") as fh:
+                report = json.load(fh)
+            assert report["passed"] is True
+            assert report["mission"]["name"] == name
+        assert "2/2 passed" in capsys.readouterr().out
+
+    def test_aggregate_json_is_canonical(self, corpus, tmp_path):
+        """sweep.json is dumped with sorted keys — byte-stable across
+        runs of the same corpus apart from elapsed wall-clock."""
+        out = tmp_path / "results"
+        sweep.main(["--missions", str(corpus), "--jobs", "1",
+                    "--out", str(out)])
+        text = (out / "sweep.json").read_text(encoding="utf-8")
+        data = json.loads(text)
+        assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+    def test_smoke_filter_selects_marked_missions(
+            self, corpus, tmp_path, capsys):
+        out = tmp_path / "results"
+        code = sweep.main(["--smoke", "--missions", str(corpus),
+                           "--out", str(out)])
+        assert code == 0
+        with open(out / "sweep.json", encoding="utf-8") as fh:
+            aggregate = json.load(fh)
+        assert [row["name"] for row in aggregate["missions"]] \
+            == ["tiny-smoke"]
+
+    def test_failing_mission_fails_the_sweep(self, tmp_path, capsys):
+        """An unsatisfiable invariant turns up as a FAIL row with the
+        failed check attached, and a non-zero exit."""
+        directory = tmp_path / "missions"
+        directory.mkdir()
+        doomed = tiny_mission(name="tiny-doomed", seed=9)
+        doomed["expect"].append(
+            {"check": "progress", "run": "storm",
+             "domains": ["tiny-a"], "min_mbit": 10000.0})
+        (directory / "tiny-doomed.toml").write_text(
+            serialize_mission(doomed), encoding="utf-8")
+        out = tmp_path / "results"
+        code = sweep.main(["--missions", str(directory),
+                           "--out", str(out)])
+        assert code == 1
+        with open(out / "sweep.json", encoding="utf-8") as fh:
+            aggregate = json.load(fh)
+        assert aggregate["passed"] is False
+        row = aggregate["missions"][0]
+        assert row["passed"] is False
+        assert row["invariants_failed"][0]["check"] == "progress"
+        assert "FAIL" in capsys.readouterr().out
