@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
-    scale scale-smoke sweep sweep-smoke missions-lint lint docs-lint
+    scale scale-smoke sweep sweep-smoke missions-lint matrix-drift \
+    crash lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -65,10 +66,24 @@ sweep-smoke:
 missions-lint:
 	$(PYTHON) -m repro.exp sweep --lint
 
+# The committed matrix corpus must match its generator byte-for-byte:
+# regenerate into a scratch dir and fail on any drift.
+matrix-drift:
+	$(PYTHON) -m repro.missions.matrix --out $${TMPDIR:-/tmp}/matrix-drift
+	diff -ru missions/matrix $${TMPDIR:-/tmp}/matrix-drift
+
+# Crash plane: supervised component-crash recovery scenario
+# (results/crash.json; recovery budgets, bystander retention and the
+# escalation ladder enforced), plus the crash-marked acceptance tests.
+crash:
+	$(PYTHON) -m repro.exp crash
+	$(PYTHON) -m pytest -q -m crash
+
 lint:
 	$(PYTHON) -m compileall -q src
 
 # Docstring-coverage gate (dependency-free interrogate stand-in).
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
-	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions
+	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions \
+	    src/repro/supervise

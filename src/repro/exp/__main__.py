@@ -6,6 +6,7 @@
     python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
     python -m repro.exp scale [--smoke] [--out DIR]
     python -m repro.exp sweep [--smoke] [--lint] [--jobs N] [--out DIR]
+    python -m repro.exp crash [--out DIR]
     python -m repro.exp --profile [experiment ...]
 
 Without arguments, everything runs at paper scale (~30 s of wall-clock
@@ -17,7 +18,9 @@ a JSON metrics snapshot next to the figure outputs (see
 suite (:mod:`repro.exp.bench`); ``scale`` runs the multi-volume USBS
 scale-out and failure-containment experiment (:mod:`repro.exp.scale`);
 ``sweep`` validates and executes the declarative mission corpus under
-``missions/`` across parallel workers (:mod:`repro.exp.sweep`).
+``missions/`` across parallel workers (:mod:`repro.exp.sweep`);
+``crash`` runs the supervised component-crash recovery scenario
+(:mod:`repro.exp.crash`).
 ``--profile`` wraps the selected
 experiments in :mod:`cProfile` and writes a pstats dump per experiment
 under ``results/`` alongside a printed top-25 by cumulative time.
@@ -29,7 +32,7 @@ import pstats
 import sys
 import time
 
-from repro.exp import (ablations, bench, chaos, fig7, fig8, fig9,
+from repro.exp import (ablations, bench, chaos, crash, fig7, fig8, fig9,
                        metrics_report, microbench, pressure, scale, sweep)
 
 
@@ -135,14 +138,17 @@ def main(argv):
     if argv and argv[0] == "sweep":
         _banner("Sweep — declarative mission corpus")
         return sweep.main(argv[1:])
+    if argv and argv[0] == "crash":
+        _banner("Crash — supervised component-crash recovery")
+        return crash.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)
     unknown = [t for t in targets if t not in RUNNERS]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
-        print("choose from: %s, all (also: report, bench, scale, sweep)"
-              % ", ".join(RUNNERS))
+        print("choose from: %s, all (also: report, bench, scale, sweep, "
+              "crash)" % ", ".join(RUNNERS))
         return 1
     started = time.time()
     for target in targets:

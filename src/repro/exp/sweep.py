@@ -8,7 +8,10 @@ pool. Each mission's canonical report lands in
 ``results/missions/<name>.json``; the aggregate — per-mission verdict,
 per-invariant failures, injection-audit vacuities, wall-clock — lands
 in ``results/sweep.json``. The exit status is non-zero if any mission
-FAILs, is vacuous, or is irreproducible.
+FAILs, is vacuous, or is irreproducible. A worker process that dies
+outright (segfault, OOM kill) fails only its own mission — the row is
+charged ``error: worker_crashed`` and every other mission still runs
+on a rebuilt pool.
 
     python -m repro.exp sweep                 # the full corpus
     python -m repro.exp sweep --smoke         # the reduced CI matrix
@@ -25,6 +28,7 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.missions import (MissionError, load_mission, report_json,
                             run_mission)
@@ -96,26 +100,72 @@ def _summarise(outcome):
         "reproducible": report["reproducible"],
         "vacuous": report["audit"]["vacuous"],
         "invariants_failed": failed,
+        "error": None,
     }
 
 
-def sweep(paths, jobs, out_dir):
+def _crash_row(path):
+    """The aggregate row for a mission whose worker process died (a
+    hard crash — segfault, OOM kill — not a Python exception). The
+    mission is charged a FAIL with reason ``worker_crashed``; name and
+    family come from re-loading the (already linted) file in-parent."""
+    mission = load_mission(path)
+    return {
+        "name": mission["mission"]["name"],
+        "family": mission["mission"]["family"],
+        "path": path,
+        "elapsed_sec": 0.0,
+        "passed": False,
+        "reproducible": None,
+        "vacuous": [],
+        "invariants_failed": [],
+        "error": "worker_crashed",
+    }
+
+
+def _execute(paths, jobs, worker):
+    """Run ``worker`` over ``paths`` on a process pool, surviving
+    worker crashes. A dead worker poisons every future still queued on
+    the broken pool, so each poisoned mission is retried alone in a
+    fresh single-worker pool: innocent bystanders complete on the
+    retry, and only missions that kill their own private pool are
+    tagged as crashers. Returns ``(outcomes, crashed_paths)``."""
+    outcomes, suspects, crashed = {}, [], []
+    if jobs > 1 and len(paths) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {path: pool.submit(worker, path) for path in paths}
+            for path, future in futures.items():
+                try:
+                    outcomes[path] = future.result()
+                except BrokenProcessPool:
+                    suspects.append(path)
+        for path in suspects:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                try:
+                    outcomes[path] = pool.submit(worker, path).result()
+                except BrokenProcessPool:
+                    crashed.append(path)
+    else:
+        for path in paths:
+            outcomes[path] = worker(path)
+    return [outcomes[path] for path in paths if path in outcomes], crashed
+
+
+def sweep(paths, jobs, out_dir, worker=_worker):
     """Run every mission in ``paths`` on ``jobs`` workers; write the
-    per-mission reports and the aggregate; return the aggregate."""
+    per-mission reports and the aggregate; return the aggregate.
+    ``worker`` is injectable so tests can stand in a crashing body."""
     report_dir = os.path.join(out_dir, "missions")
     os.makedirs(report_dir, exist_ok=True)
     started = time.monotonic()
     rows = []
-    if jobs > 1 and len(paths) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_worker, paths))
-    else:
-        outcomes = [_worker(path) for path in paths]
+    outcomes, crashed = _execute(paths, jobs, worker)
     for outcome in outcomes:
         with open(os.path.join(report_dir, "%s.json" % outcome["name"]),
                   "w", encoding="utf-8") as fh:
             fh.write(report_json(outcome["report"]))
         rows.append(_summarise(outcome))
+    rows.extend(_crash_row(path) for path in crashed)
     rows.sort(key=lambda row: row["name"])
     aggregate = {
         "schema_version": SWEEP_SCHEMA_VERSION,
@@ -126,6 +176,7 @@ def sweep(paths, jobs, out_dir):
             "passed": sum(1 for row in rows if row["passed"]),
             "failed": sum(1 for row in rows if not row["passed"]),
             "vacuous": sum(1 for row in rows if row["vacuous"]),
+            "crashed": len(crashed),
         },
         "elapsed_sec": round(time.monotonic() - started, 2),
         "passed": all(row["passed"] for row in rows),
@@ -144,6 +195,9 @@ def format_aggregate(aggregate):
         verdict = "PASS" if row["passed"] else "FAIL"
         lines.append("  %-40s %s  (%.1f s)"
                      % (row["name"], verdict, row["elapsed_sec"]))
+        if row["error"]:
+            lines.append("      %s" % row["error"])
+            continue
         for inv in row["invariants_failed"]:
             lines.append("      invariant failed: %s %s"
                          % (inv["check"], json.dumps(inv["observed"])))

@@ -15,6 +15,15 @@ from repro.faults.behavior import (
     behavior_plan_from_config,
     behavior_rule_from_config,
 )
+from repro.faults.crash import (
+    CRASH,
+    CrashDecision,
+    CrashInjector,
+    CrashPlan,
+    CrashRule,
+    crash_plan_from_config,
+    crash_rule_from_config,
+)
 from repro.faults.plan import (
     BAD_BLOCK,
     CLEAN,
@@ -35,12 +44,14 @@ from repro.faults.plan import (
 )
 
 __all__ = [
-    "ALLOC_THRASH", "BAD_BLOCK", "BEHAVIOR_KINDS", "CLEAN", "LATENCY",
-    "REVOKE_KINDS", "REVOKE_LIE", "REVOKE_PARTIAL", "REVOKE_SILENT",
-    "REVOKE_SLOW", "STATUS_IO_ERROR", "STATUS_OK", "STATUS_TIMEOUT",
-    "STUCK", "TRANSIENT", "BehaviorDecision", "BehaviorInjector",
-    "BehaviorPlan", "BehaviorRule", "FaultDecision", "FaultInjector",
-    "FaultPlan", "FaultRule", "behavior_plan_from_config",
-    "behavior_rule_from_config", "disk_storm", "extent_storm",
-    "plan_from_config", "rule_from_config",
+    "ALLOC_THRASH", "BAD_BLOCK", "BEHAVIOR_KINDS", "CLEAN", "CRASH",
+    "LATENCY", "REVOKE_KINDS", "REVOKE_LIE", "REVOKE_PARTIAL",
+    "REVOKE_SILENT", "REVOKE_SLOW", "STATUS_IO_ERROR", "STATUS_OK",
+    "STATUS_TIMEOUT", "STUCK", "TRANSIENT", "BehaviorDecision",
+    "BehaviorInjector", "BehaviorPlan", "BehaviorRule", "CrashDecision",
+    "CrashInjector", "CrashPlan", "CrashRule", "FaultDecision",
+    "FaultInjector", "FaultPlan", "FaultRule",
+    "behavior_plan_from_config", "behavior_rule_from_config",
+    "crash_plan_from_config", "crash_rule_from_config", "disk_storm",
+    "extent_storm", "plan_from_config", "rule_from_config",
 ]

@@ -21,6 +21,14 @@ retention, and forward progress — and every declared rule must fire
 (the sweep's injection audit), so a storm that never lands fails the
 mission as vacuous.
 
+The ``crash-recovery`` family rides along: one mission per supervised
+component kind (a pager's driver, the MemoryBalancer loop, the system
+USD driver domain, one USBS volume's driver), each crashing that
+component under the supervisor and expecting recovery within budget,
+bystanders unharmed where the component is not shared infrastructure,
+and — for the volume storm that exhausts its restart budget — the
+escalation ladder's drain-and-retire verdict.
+
 ``python -m repro.missions.matrix [--out missions/matrix]`` writes the
 corpus; ``build_matrix()`` returns the normalised mission dicts.
 """
@@ -44,8 +52,12 @@ TOPOLOGIES = ("sfs", "striped4")
 EXTRA_PINNED = (("silent", "transient"), ("silent", "compound"),
                 ("partial", "transient"), ("partial", "compound"))
 
+#: Crash-recovery cells: (mission suffix, crashed component kind).
+CRASH_CELLS = ("pager", "balancer", "usd", "volume")
+
 #: The reduced CI matrix (``repro.exp sweep --smoke``): one mission
-#: per topology x {killed-hostile, surviving-or-no-hostile} cell.
+#: per topology x {killed-hostile, surviving-or-no-hostile} cell,
+#: plus the restart and the escalation ends of the crash ladder.
 SMOKE = frozenset((
     "matrix-silent-transient-sfs",
     "matrix-partial-compound-sfs",
@@ -53,6 +65,8 @@ SMOKE = frozenset((
     "matrix-lie-compound-striped4",
     "matrix-silent-transient-pinned4",
     "matrix-partial-compound-pinned4",
+    "crash-pager-sfs",
+    "crash-volume-pinned4",
 ))
 
 _BEHAVIOR_KIND = {"silent": "revoke_silent", "lie": "revoke_lie",
@@ -167,6 +181,89 @@ def _mission(hostile, storm, topo, seed):
     return mission
 
 
+def _crash_mission(component, seed):
+    """One crash-recovery mission: crash ``component``, expect the
+    supervisor's verdict.
+
+    The pager/balancer cells assert the bystander guarantee (>= 95 %
+    of baseline bandwidth through every recovery window) because the
+    dead component is private; the USD cell asserts whole-run
+    retention instead (the system disk's loop is shared — during its
+    ~200 ms outage everything queues, then replays); the volume cell
+    crashes volume 0 until the restart budget is spent and asserts the
+    escalation ladder's end state: degraded, drained, retired.
+    """
+    name = "crash-%s-%s" % (component,
+                            "pinned4" if component == "volume" else "sfs")
+    store = "usbs" if component == "volume" else "sfs"
+    topology = _topology("pinned4" if component == "volume" else "sfs")
+    if component == "balancer":
+        topology["balancer"] = True
+    phases = {"settle_sec": 1.0, "measure_sec": 3.0}
+    crashes = {
+        "pager": [{"component": "pager:coop-a", "start_sec": 1.5}],
+        "balancer": [{"component": "balancer", "start_sec": 1.5}],
+        "usd": [{"component": "usd", "start_sec": 1.5}],
+        "volume": [{"component": "volume:0", "start_sec": 0.5,
+                    "max_crashes": 3}],
+    }[component]
+    expect = [
+        {"check": "kill_set", "exactly": {}},
+        {"check": "progress", "run": "crash",
+         "domains": ["coop-a", "coop-b"]},
+    ]
+    if component in ("pager", "balancer"):
+        target = ("pager:coop-a" if component == "pager"
+                  else "balancer")
+        bystanders = (["coop-b"] if component == "pager"
+                      else ["coop-a", "coop-b"])
+        expect += [
+            {"check": "recovered", "run": "crash", "component": target,
+             "max_recovery_ms": 1000},
+            {"check": "bystander_retention_during_crash", "run": "crash",
+             "baseline": "baseline", "domains": bystanders,
+             "components": [target], "floor": 0.95},
+        ]
+    elif component == "usd":
+        expect += [
+            {"check": "recovered", "run": "crash", "component": "usd",
+             "max_recovery_ms": 1000},
+            {"check": "bandwidth_retention", "run": "crash",
+             "baseline": "baseline", "domains": ["coop-a", "coop-b"],
+             "floor": 0.85},
+        ]
+    else:   # volume: the budget-exhaustion / escalation end
+        phases["wait_drains"] = 1
+        phases["drain_limit_sec"] = 45.0
+        expect += [
+            {"check": "restart_budget", "run": "crash",
+             "component": "volume:0", "max": 2, "final": "retired"},
+        ]
+    return {
+        "schema": 1,
+        "mission": {
+            "name": name,
+            "family": "crash-recovery",
+            "description": ("crash the %s under supervision: recovery "
+                            "within budget, bystanders unharmed"
+                            % component),
+            "seed": seed,
+            "smoke": name in SMOKE,
+        },
+        "topology": topology,
+        "workload": {"domains": [_coop("coop-a", store),
+                                 _coop("coop-b", store)]},
+        "supervision": {"enabled": True},
+        "phases": phases,
+        "runs": [
+            {"name": "baseline"},
+            {"name": "crash", "crashes": crashes},
+        ],
+        "determinism": {"repeat": "crash"},
+        "expect": expect,
+    }
+
+
 def build_matrix():
     """All matrix missions, normalised, in generation order."""
     cells = [(hostile, storm, topo)
@@ -175,8 +272,12 @@ def build_matrix():
              for storm in STORMS]
     cells += [(hostile, storm, "pinned4")
               for hostile, storm in EXTRA_PINNED]
-    return [validate_mission(_mission(hostile, storm, topo, 100 + index))
-            for index, (hostile, storm, topo) in enumerate(cells)]
+    missions = [validate_mission(_mission(hostile, storm, topo,
+                                          100 + index))
+                for index, (hostile, storm, topo) in enumerate(cells)]
+    missions += [validate_mission(_crash_mission(component, 200 + index))
+                 for index, component in enumerate(CRASH_CELLS)]
+    return missions
 
 
 def write_matrix(out_dir):

@@ -31,17 +31,23 @@ the same bytes (the golden-report tests pin one per corpus family).
 """
 
 import json
+import time
 from hashlib import blake2b
 
 from repro.apps.fsclient import FileSystemClient
 from repro.apps.pager_app import PagingApplication
-from repro.faults import behavior_plan_from_config, plan_from_config
+from repro.faults import (CrashInjector, behavior_plan_from_config,
+                          crash_plan_from_config, plan_from_config)
 from repro.hw.mmu import AccessKind
 from repro.hw.platform import Machine
 from repro.kernel.threads import Touch, Wait
 from repro.missions.schema import REPORT_SCHEMA_VERSION
+from repro.mm.balancer import MemoryBalancer
 from repro.sched.atropos import QoSSpec
 from repro.sim.units import MS, SEC
+from repro.supervise import (BalancerComponent, DriverDomainComponent,
+                             PagerComponent, RestartPolicy, Supervisor,
+                             VolumeComponent)
 from repro.system import NemesisSystem
 
 KB = 1024
@@ -51,6 +57,17 @@ MB = 1024 * 1024
 class MissionRunError(RuntimeError):
     """A mission failed to *execute* (as opposed to failing a verdict):
     populate limit tripped, conflicting fault plans, and the like."""
+
+
+class MissionHung(MissionRunError):
+    """A run blew its wall-clock deadline (``runs.deadline_s``); the
+    runner turns this into a canonical FAIL report, reason ``hung``."""
+
+    def __init__(self, run_name, deadline_s):
+        self.run_name = run_name
+        self.deadline_s = deadline_s
+        super().__init__("run %r exceeded its %.0f s wall-clock deadline"
+                         % (run_name, deadline_s))
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +220,57 @@ def _behavior_rule_config(rule):
     return config
 
 
+def _crash_rule_config(rule):
+    """Mission crash rule -> crash_rule_from_config dict."""
+    config = {"rate": rule["rate"], "max_crashes": rule["max_crashes"]}
+    if rule["component"]:
+        config["component"] = rule["component"]
+    if rule["start_sec"]:
+        config["start_ns"] = int(rule["start_sec"] * SEC)
+    if rule["end_sec"] != -1.0:
+        config["end_ns"] = int(rule["end_sec"] * SEC)
+    return config
+
+
+def _merge_windows(windows):
+    """Overlapping/adjacent (start, end) spans merged, sorted."""
+    merged = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(start, end) for start, end in merged]
+
+
+def _interp_progress(samples, name, t):
+    """Piecewise-linear progress of ``name`` at simulated time ``t``
+    from ``[ns, {name: bytes}]`` samples (clamped to the sampled
+    range)."""
+    if not samples:
+        return 0.0
+    if t <= samples[0][0]:
+        return float(samples[0][1].get(name, 0))
+    if t >= samples[-1][0]:
+        return float(samples[-1][1].get(name, 0))
+    lo, hi = 0, len(samples) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if samples[mid][0] <= t:
+            lo = mid
+        else:
+            hi = mid
+    t0, v0 = samples[lo][0], samples[lo][1].get(name, 0)
+    t1, v1 = samples[hi][0], samples[hi][1].get(name, 0)
+    return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+def _progress_delta(samples, name, start, end):
+    """Bytes of progress ``name`` made across one (start, end) span."""
+    return (_interp_progress(samples, name, end)
+            - _interp_progress(samples, name, start))
+
+
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
@@ -211,8 +279,34 @@ def _behavior_rule_config(rule):
 class MissionRunner:
     """Execute one normalised mission; see the module docstring."""
 
-    def __init__(self, mission):
+    def __init__(self, mission, clock=None):
         self.mission = mission
+        #: Wall-clock source for the ``runs.deadline_s`` hang guard —
+        #: injectable so tests can hang a mission without waiting.
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = 0.0
+        self._deadline_s = None
+        self._run_name = None
+
+    # -- wall-clock deadline ---------------------------------------------------
+
+    def _check_deadline(self):
+        if self._deadline_s is not None \
+                and self._clock() - self._started > self._deadline_s:
+            raise MissionHung(self._run_name, self._deadline_s)
+
+    def _advance(self, system, duration_ns):
+        """``system.run_for`` in 1 s simulated chunks with the run's
+        wall-clock deadline checked between chunks (chunked calls are
+        behaviourally identical to one call; the sim is cooperative,
+        so between-chunk is the only place a hang can be caught)."""
+        remaining = int(duration_ns)
+        while remaining > 0:
+            self._check_deadline()
+            step = min(remaining, SEC)
+            system.run_for(step)
+            remaining -= step
+        self._check_deadline()
 
     # -- system + workload construction --------------------------------------
 
@@ -249,16 +343,7 @@ class MissionRunner:
                     system, name, _qos(domain), depth=domain["depth"],
                     extent_blocks=domain["extent_blocks"])
             elif kind == "pager":
-                handles[name] = PagingApplication(
-                    system, name, _qos(domain), mode=domain["mode"],
-                    stretch_bytes=domain["stretch_kb"] * KB,
-                    driver_frames=domain["driver_frames"],
-                    swap_bytes=domain["swap_kb"] * KB,
-                    guaranteed_frames=(domain["guaranteed_frames"] or None),
-                    extra_frames=domain["extra_frames"],
-                    driver_kind=domain["driver_kind"],
-                    store=(None if domain["store"] == "sfs" else "usbs"),
-                    prefetch_depth=domain["prefetch_depth"])
+                handles[name] = self._build_pager(system, domain)
             elif kind == "claimant":
                 handles[name] = system.new_app(
                     name, guaranteed_frames=domain["guaranteed_frames"],
@@ -281,23 +366,47 @@ class MissionRunner:
                 handles[name] = app
         return handles
 
+    def _build_pager(self, system, domain):
+        """One pager domain's application — also the supervisor's
+        rebuild recipe, so a restarted pager re-admits through the
+        exact constructor call the original used."""
+        return PagingApplication(
+            system, domain["name"], _qos(domain), mode=domain["mode"],
+            stretch_bytes=domain["stretch_kb"] * KB,
+            driver_frames=domain["driver_frames"],
+            swap_bytes=domain["swap_kb"] * KB,
+            guaranteed_frames=(domain["guaranteed_frames"] or None),
+            extra_frames=domain["extra_frames"],
+            driver_kind=domain["driver_kind"],
+            store=(None if domain["store"] == "sfs" else "usbs"),
+            prefetch_depth=domain["prefetch_depth"])
+
     def _pagers(self, handles):
-        """Pager handles, in declared order."""
+        """Pager handles, in declared order (``handles`` tracks the
+        live incarnation after a supervised restart, so call sites
+        re-read this rather than caching)."""
         return [(d["name"], handles[d["name"]])
                 for d in self.mission["workload"]["domains"]
                 if d["kind"] == "pager"]
 
-    def _measured(self, handles):
-        """(name, bytes-progress callable) for bandwidth domains."""
+    def _measured(self, handles, components=None):
+        """(name, bytes-progress callable) for bandwidth domains. A
+        supervised pager is measured through its component, whose
+        progress carries across restarts (stays monotone)."""
+        components = components or {}
         out = []
         for domain in self.mission["workload"]["domains"]:
-            handle = handles[domain["name"]]
+            name = domain["name"]
             if domain["kind"] == "fsclient":
-                out.append((domain["name"],
-                            lambda h=handle: h.bytes_read))
+                handle = handles[name]
+                out.append((name, lambda h=handle: h.bytes_read))
             elif domain["kind"] == "pager":
-                out.append((domain["name"],
-                            lambda h=handle: h.bytes_processed))
+                component = components.get("pager:%s" % name)
+                if component is not None:
+                    out.append((name, component.progress))
+                else:
+                    handle = handles[name]
+                    out.append((name, lambda h=handle: h.bytes_processed))
         return out
 
     # -- fault-plan installation ---------------------------------------------
@@ -359,18 +468,105 @@ class MissionRunner:
                 injector = system.usbs.install_fault_plan(target[1], plan)
             installed[target] = (injector, indices)
 
+    # -- supervision ----------------------------------------------------------
+
+    def _supervised_components(self, system, run, handles, balancer):
+        """Every supervised component of this run, keyed by component
+        id, in deterministic registration order: pagers (declared
+        order), the balancer, the system USD, then each volume."""
+        components = {}
+        for domain in self.mission["workload"]["domains"]:
+            if domain["kind"] != "pager":
+                continue
+            name = domain["name"]
+
+            def rebuild(d=domain, s=system):
+                return self._build_pager(s, d)
+
+            def adopt(pager, n=name, h=handles):
+                h[n] = pager
+
+            components["pager:%s" % name] = PagerComponent(
+                name, rebuild, on_restart=adopt, initial=handles[name])
+        if balancer is not None:
+            def remake(snapshot, s=system):
+                return MemoryBalancer(s, warm_start=snapshot)
+
+            components["balancer"] = BalancerComponent(balancer, remake)
+        if run["topology"]["backing"] == "usd":
+            components["usd"] = DriverDomainComponent(system.usd)
+        if system.usbs is not None:
+            for volume in system.usbs.volumes:
+                components["volume:%d" % volume.index] = VolumeComponent(
+                    system.usbs, volume)
+        return components
+
+    def _start_supervision(self, system, run, handles, balancer):
+        """Build the crash injector, the supervisor and the progress
+        sampler; returns (supervisor, injector, components, samples)."""
+        mission = self.mission
+        supervision = mission["supervision"]
+        injector = CrashInjector(
+            crash_plan_from_config(
+                mission["mission"]["seed"],
+                [_crash_rule_config(rule) for rule in run["crashes"]]),
+            metrics=system.metrics)
+        policy = RestartPolicy(
+            backoff_ns=supervision["backoff_ms"] * MS,
+            backoff_factor=supervision["backoff_factor"],
+            max_backoff_ns=supervision["max_backoff_ms"] * MS,
+            max_restarts=supervision["max_restarts"],
+            window_ns=int(supervision["window_s"] * SEC))
+        supervisor = Supervisor(
+            system.sim, heartbeat_ns=supervision["heartbeat_ms"] * MS,
+            policy=policy, injector=injector, metrics=system.metrics,
+            spans=system.spans)
+        components = self._supervised_components(system, run, handles,
+                                                 balancer)
+        for component in components.values():
+            supervisor.supervise(component)
+        samples = []
+        system.sim.spawn(
+            self._progress_sampler(system,
+                                   self._measured(handles, components),
+                                   supervision["sample_ms"] * MS, samples),
+            name="progress-sampler")
+        return supervisor, injector, components, samples
+
+    def _progress_sampler(self, system, measured, period, samples):
+        """Record ``[sim ns, {domain: progress bytes}]`` every
+        ``period`` — the series the bystander-retention invariant
+        integrates over recovery windows."""
+        while True:
+            samples.append([system.sim.now,
+                            {name: int(progress())
+                             for name, progress in measured}])
+            yield system.sim.timeout(period)
+
     # -- one run -------------------------------------------------------------
 
     def _execute_run(self, run):
         """Build + run one ``[[runs]]`` entry; returns (payload, fired)
-        where ``fired`` is {"faults": set, "behaviors": set} of mission
-        rule indices observed firing."""
+        where ``fired`` is {"faults": set, "behaviors": set[, "crashes":
+        set]} of mission rule indices observed firing."""
         mission = self.mission
         phases = mission["phases"]
+        self._run_name = run["name"]
+        self._deadline_s = run["deadline_s"]
+        self._started = self._clock()
         system = self._build_system(run["topology"])
         grabbed = {}
         handles = self._build_domains(system, grabbed)
         pagers = self._pagers(handles)
+        balancer = (MemoryBalancer(system)
+                    if run["topology"]["balancer"] else None)
+        supervisor = None
+        crash_injector = None
+        components = {}
+        samples = []
+        if mission["supervision"]["enabled"]:
+            supervisor, crash_injector, components, samples = \
+                self._start_supervision(system, run, handles, balancer)
         installed = {}      # target key -> (injector, mission indices)
         fault_volumes = {}  # scope string -> volume name
         start_rules, measure_rules = self._split_rules(run["faults"])
@@ -401,42 +597,46 @@ class MissionRunner:
                            driver, results), name="waves")
         initial_volumes = self._domain_volumes(pagers)
         # Phase timeline: populate -> settle -> measure -> drain wait.
+        # (Pager handles are re-read from ``handles`` after every
+        # advance — a supervised restart swaps in a new incarnation.)
         populate_sec = 0.0
         if phases["populate"]:
-            while not all(p.populated.triggered for _, p in pagers):
+            while not all(p.populated.triggered
+                          for _, p in self._pagers(handles)):
                 if populate_sec >= phases["populate_limit_sec"]:
                     raise MissionRunError(
                         "run %r failed to populate within %.0f s "
                         "(populated: %s)"
                         % (run["name"], phases["populate_limit_sec"],
                            {name: p.populated.triggered
-                            for name, p in pagers}))
-                system.run_for(1 * SEC)
+                            for name, p in self._pagers(handles)}))
+                self._advance(system, 1 * SEC)
                 populate_sec += 1.0
-        system.run_for(int(phases["settle_sec"] * SEC))
+        self._advance(system, int(phases["settle_sec"] * SEC))
         if measure_rules:
             self._install_plans(system, handles, measure_rules, installed,
                                 fault_volumes)
-        measured = self._measured(handles)
+        measured = self._measured(handles, components)
         start_bytes = {name: progress() for name, progress in measured}
         charged0 = {}
-        for name, pager in pagers:
+        for name, pager in self._pagers(handles):
             for client in _swap_clients(pager.driver):
                 if hasattr(client, "usd"):
                     charged0[(name, client.usd.name)] = (client.served_ns
                                                          + client.lax_ns)
-        system.run_for(int(phases["measure_sec"] * SEC))
+        self._advance(system, int(phases["measure_sec"] * SEC))
         window_ns = phases["measure_sec"] * SEC
         mbits = {name: (progress() - start_bytes[name]) * 8 / 1e6
                  / phases["measure_sec"] for name, progress in measured}
         volume_shares = []
-        for name, pager in pagers:
+        for name, pager in self._pagers(handles):
             for client in _swap_clients(pager.driver):
                 key = (name, getattr(client, "usd", None)
                        and client.usd.name)
                 if key not in charged0:
                     # Attached mid-window (a drain re-placed the
-                    # shard); no full-window share exists for it.
+                    # shard, or a restart re-attached swap); no
+                    # full-window share exists for it.
                     continue
                 charged = (client.served_ns + client.lax_ns
                            - charged0[key]) / window_ns
@@ -448,20 +648,27 @@ class MissionRunner:
                     "contract": round(contract, 4),
                     "relative_error": round(abs(charged / contract - 1), 4),
                 })
-        # Drains only happen under a volume storm, so the wait is
-        # scoped to runs that installed one (a clean run would just
+        # Drains only happen under a volume storm — a fault storm on a
+        # volume, or a crash storm escalating one — so the wait is
+        # scoped to runs that declared one (a clean run would just
         # burn drain_limit_sec of simulated time waiting for nothing).
+        crash_volumes = any(rule["component"].startswith("volume:")
+                            for rule in run["crashes"])
         drain_wait_sec = 0.0
         if phases["wait_drains"] and system.usbs is not None \
-                and fault_volumes:
+                and (fault_volumes or crash_volumes):
             while (system.usbs.drains_done < phases["wait_drains"]
                    and drain_wait_sec < phases["drain_limit_sec"]):
-                system.run_for(1 * SEC)
+                self._advance(system, 1 * SEC)
                 drain_wait_sec += 1.0
-        payload = self._collect(system, run, handles, pagers, mbits,
+        payload = self._collect(system, run, handles,
+                                self._pagers(handles), mbits,
                                 volume_shares, min_alloc, results,
                                 grabbed, initial_volumes, fault_volumes,
                                 populate_sec, drain_wait_sec)
+        if supervisor is not None:
+            payload["supervision"] = supervisor.summary()
+            payload["progress_samples"] = samples
         fired = {"faults": set(), "behaviors": set()}
         for injector, indices in installed.values():
             if injector is None:
@@ -469,6 +676,8 @@ class MissionRunner:
             fired["faults"].update(indices[i] for i in injector.observed)
         if system.behavior_injector is not None:
             fired["behaviors"].update(system.behavior_injector.observed)
+        if crash_injector is not None:
+            fired["crashes"] = set(crash_injector.observed)
         return payload, fired
 
     def _domain_volumes(self, pagers):
@@ -625,6 +834,67 @@ class MissionRunner:
                         default=0.0)
             return verdict(worst <= check["max"],
                            {"worst_share_error": worst})
+        if kind == "recovered":
+            record = payloads[check["run"]]["supervision"].get(
+                check["component"])
+            if record is None:
+                return verdict(False, {"error": "component was never "
+                                                "supervised"})
+            worst_ns = max((end - start
+                            for start, end in record["windows"]),
+                           default=0)
+            passed = (record["restarts"] >= check["min_restarts"]
+                      and record["state"] == "running"
+                      and worst_ns <= check["max_recovery_ms"] * MS)
+            return verdict(passed, {
+                "restarts": record["restarts"],
+                "state": record["state"],
+                "worst_recovery_ms": round(worst_ns / MS, 3)})
+        if kind == "restart_budget":
+            record = payloads[check["run"]]["supervision"].get(
+                check["component"])
+            if record is None:
+                return verdict(False, {"error": "component was never "
+                                                "supervised"})
+            passed = (record["restarts"] <= check["max"]
+                      and record["state"] == check["final"])
+            return verdict(passed, {
+                "restarts": record["restarts"],
+                "escalations": record["escalations"],
+                "state": record["state"]})
+        if kind == "bystander_retention_during_crash":
+            payload = payloads[check["run"]]
+            baseline = payloads[check["baseline"]]
+            supervision = payload["supervision"]
+            components = check["components"] or sorted(supervision)
+            windows = []
+            for cid in components:
+                record = supervision.get(cid)
+                if record is not None:
+                    windows.extend((start, end)
+                                   for start, end in record["windows"])
+            merged = _merge_windows(windows)
+            retention = {}
+            for name in check["domains"]:
+                crashed = sum(
+                    _progress_delta(payload["progress_samples"], name,
+                                    start, end)
+                    for start, end in merged)
+                clean = sum(
+                    _progress_delta(baseline["progress_samples"], name,
+                                    start, end)
+                    for start, end in merged)
+                # A bystander whose baseline made no progress in the
+                # windows had nothing to lose during them.
+                retention[name] = crashed / clean if clean else 1.0
+            # No recovery windows -> trivially true; the injection
+            # audit is what catches a storm that never happened.
+            passed = all(value >= check["floor"]
+                         for value in retention.values())
+            return verdict(passed, {
+                "windows": [list(window) for window in merged],
+                "retention": {name: round(value, 4)
+                              for name, value in retention.items()}})
         # The USBS containment family: all need the run's storm volume.
         payload = payloads[check["run"]]
         volumes = payload["volumes"]
@@ -673,6 +943,9 @@ class MissionRunner:
                 "faults": sorted(fired["faults"]),
                 "behaviors": sorted(fired["behaviors"]),
             }
+            if "crashes" in fired:
+                fired_out[run["name"]]["crashes"] = sorted(
+                    fired["crashes"])
             for index, rule in enumerate(run["faults"]):
                 if rule["must_fire"] and index not in fired["faults"]:
                     vacuous.append(
@@ -685,13 +958,41 @@ class MissionRunner:
                         "%s: behaviors[%d] (%s on %s) never fired"
                         % (run["name"], index, rule["kind"],
                            rule["domain"] or "<any>"))
+            for index, rule in enumerate(run["crashes"]):
+                if rule["must_fire"] \
+                        and index not in fired.get("crashes", ()):
+                    vacuous.append(
+                        "%s: crashes[%d] (on %s) never fired"
+                        % (run["name"], index,
+                           rule["component"] or "<any>"))
         return {"passed": not vacuous, "fired": fired_out,
                 "vacuous": vacuous}
 
     # -- entry point -----------------------------------------------------------
 
     def run(self):
-        """Execute the mission; returns the canonical report dict."""
+        """Execute the mission; returns the canonical report dict.
+
+        A run that blows its ``deadline_s`` wall-clock budget yields a
+        canonical FAIL report with ``error.reason = "hung"`` instead of
+        hanging the harness (no partial payloads: a half-executed run
+        is not comparable across machines)."""
+        try:
+            return self._run_all()
+        except MissionHung as exc:
+            return canonical({
+                "schema": REPORT_SCHEMA_VERSION,
+                "mission": dict(self.mission["mission"]),
+                "runs": {},
+                "invariants": [],
+                "audit": {"passed": False, "fired": {}, "vacuous": []},
+                "error": {"reason": "hung", "run": exc.run_name,
+                          "deadline_s": exc.deadline_s},
+                "reproducible": None,
+                "passed": False,
+            })
+
+    def _run_all(self):
         mission = self.mission
         payloads = {}
         fired_by_run = {}

@@ -71,7 +71,8 @@ def _f(name, kind, default=None, choices=None, min=None, max=None):
 MISSION_FIELDS = (
     _f("name", "str"),
     _f("family", "str",
-       choices=("chaos", "pressure", "scale", "matrix")),
+       choices=("chaos", "pressure", "scale", "matrix",
+                "crash-recovery")),
     _f("description", "str", default=""),
     _f("seed", "int", min=0),
     _f("smoke", "bool", default=False),
@@ -89,6 +90,7 @@ TOPOLOGY_FIELDS = (
     _f("volume_seed", "int", default=0, min=0),
     _f("revocation_timeout_ms", "int", default=100, min=1),
     _f("max_revocation_rounds", "int", default=3, min=1),
+    _f("balancer", "bool", default=False),
 )
 
 #: ``[phases]`` — the run's timeline: optional populate loop, settle,
@@ -108,10 +110,31 @@ DETERMINISM_FIELDS = (
     _f("repeat", "str", default=""),
 )
 
-#: ``[[runs]]`` scalar fields (topology overrides and fault rules are
-#: validated separately).
+#: ``[[runs]]`` scalar fields (topology overrides and fault/crash
+#: rules are validated separately). ``deadline_s`` bounds the run's
+#: *wall-clock* execution: exceeding it aborts the mission into a
+#: canonical FAIL report with reason ``hung``.
 RUN_FIELDS = (
     _f("name", "str"),
+    _f("deadline_s", "float", default=300.0, min=0.001),
+)
+
+#: ``[supervision]`` — the optional supervisor plane. When enabled,
+#: every pager, the system USD, each USBS volume and (with
+#: ``topology.balancer``) the MemoryBalancer are heartbeat-watched and
+#: restarted under the budget below; the report gains a
+#: ``supervision`` payload and ``progress_samples`` (bandwidth sampled
+#: every ``sample_ms`` through the measurement window, which the
+#: ``bystander_retention_during_crash`` check integrates over).
+SUPERVISION_FIELDS = (
+    _f("enabled", "bool", default=False),
+    _f("heartbeat_ms", "int", default=100, min=1),
+    _f("backoff_ms", "int", default=100, min=1),
+    _f("backoff_factor", "float", default=2.0, min=1.0),
+    _f("max_backoff_ms", "int", default=2000, min=1),
+    _f("max_restarts", "int", default=2, min=0),
+    _f("window_s", "float", default=5.0, min=0.001),
+    _f("sample_ms", "int", default=50, min=1),
 )
 
 # -- workload domains --------------------------------------------------------
@@ -205,6 +228,21 @@ FAULT_FIELDS = (
     _f("must_fire", "bool", default=True),
 )
 
+#: ``[[runs.crashes]]`` — one crash-fault rule, consulted at the
+#: supervisor's heartbeat instants (requires ``supervision.enabled``).
+#: ``component`` addresses a supervised component (``pager:<name>``,
+#: ``balancer``, ``usd``, ``volume:<index>``; ``""``: any);
+#: ``max_crashes`` caps the rule's total kills (0: unlimited) so a
+#: storm can be sized to exhaust a restart budget exactly.
+CRASH_FIELDS = (
+    _f("component", "str", default=""),
+    _f("rate", "float", default=1.0, min=0.0, max=1.0),
+    _f("start_sec", "float", default=0.0, min=0.0),
+    _f("end_sec", "float", default=-1.0, min=-1.0),
+    _f("max_crashes", "int", default=1, min=0),
+    _f("must_fire", "bool", default=True),
+)
+
 #: ``[[behaviors]]`` — one hostile-domain rule, installed on every
 #: run (hostility is part of the workload, not the storm).
 BEHAVIOR_FIELDS = (
@@ -280,8 +318,38 @@ EXPECT_KINDS = {
         _f("run", "str"),
         _f("victim_of", "str"),
     ),
+    # The supervision family (all require ``supervision.enabled``):
+    # ``recovered`` — the component crashed and every recovery
+    # completed within ``max_recovery_ms``, ending back in service;
+    # ``restart_budget`` — the component's restarts stayed within
+    # ``max`` and it ended in ``final`` state (the escalation ladder's
+    # verdict); ``bystander_retention_during_crash`` — over the
+    # recovery windows of ``components`` (empty: all), each bystander
+    # in ``domains`` retained at least ``floor`` of its baseline-run
+    # bandwidth across the same windows.
+    "recovered": (
+        _f("run", "str"),
+        _f("component", "str"),
+        _f("max_recovery_ms", "int", min=1),
+        _f("min_restarts", "int", default=1, min=1),
+    ),
+    "restart_budget": (
+        _f("run", "str"),
+        _f("component", "str"),
+        _f("max", "int", min=0),
+        _f("final", "str", default="running",
+           choices=("running", "degraded", "retired")),
+    ),
+    "bystander_retention_during_crash": (
+        _f("run", "str"),
+        _f("baseline", "str"),
+        _f("domains", "str_list"),
+        _f("components", "str_list", default=()),
+        _f("floor", "float", min=0.0, max=10.0),
+    ),
 }
 
 #: Top-level sections in canonical serialisation order.
 SECTION_ORDER = ("mission", "topology", "workload", "drivers",
-                 "behaviors", "phases", "runs", "determinism", "expect")
+                 "behaviors", "supervision", "phases", "runs",
+                 "determinism", "expect")

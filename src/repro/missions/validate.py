@@ -195,8 +195,11 @@ class MissionValidator:
         domains = self._domains(raw.get("workload"))
         drivers = self._drivers(raw.get("drivers"), domains)
         behaviors = self._behaviors(raw.get("behaviors"), domains)
+        supervision = _section(raw.get("supervision"),
+                               schema.SUPERVISION_FIELDS, "supervision")
         phases = _section(raw.get("phases"), schema.PHASES_FIELDS, "phases")
-        runs = self._runs(raw.get("runs"), topology, domains, phases)
+        runs = self._runs(raw.get("runs"), topology, domains, phases,
+                          supervision)
         determinism = _section(raw.get("determinism"),
                                schema.DETERMINISM_FIELDS, "determinism")
         run_names = [run["name"] for run in runs]
@@ -204,7 +207,8 @@ class MissionValidator:
             raise MissionError("determinism.repeat",
                                "names no run (runs: %s)"
                                % ", ".join(run_names))
-        expect = self._expect(raw.get("expect"), domains, drivers, runs)
+        expect = self._expect(raw.get("expect"), domains, drivers, runs,
+                              supervision)
         if phases["populate"] and not any(
                 d["kind"] == "pager" for d in domains):
             raise MissionError("phases.populate",
@@ -216,6 +220,7 @@ class MissionValidator:
             "workload": {"domains": domains},
             "drivers": drivers,
             "behaviors": behaviors,
+            "supervision": supervision,
             "phases": phases,
             "runs": runs,
             "determinism": determinism,
@@ -312,10 +317,12 @@ class MissionValidator:
             rules.append(rule)
         return rules
 
-    def _runs(self, raw, topology, domains, phases):
+    def _runs(self, raw, topology, domains, phases, supervision):
         if not isinstance(raw, list) or not raw:
             raise MissionError("runs", "expected a non-empty array of tables")
         pagers = {d["name"]: d for d in domains if d["kind"] == "pager"}
+        deadline_field = next(f for f in schema.RUN_FIELDS
+                              if f.name == "deadline_s")
         runs = []
         seen = set()
         for index, entry in enumerate(raw):
@@ -324,10 +331,12 @@ class MissionValidator:
                 raise MissionError(path, "expected a table, got %r"
                                    % (entry,))
             for key in entry:
-                if key not in ("name", "topology", "faults"):
+                if key not in ("name", "deadline_s", "topology", "faults",
+                               "crashes"):
                     raise MissionError("%s.%s" % (path, key),
                                        "unknown field (known: name, "
-                                       "topology, faults)")
+                                       "deadline_s, topology, faults, "
+                                       "crashes)")
             name = entry.get("name")
             if not isinstance(name, str) or not name or len(name) > 64 \
                     or any(c in name for c in "\n\r\t "):
@@ -348,9 +357,18 @@ class MissionValidator:
                 raise MissionError("%s.topology.volumes" % path,
                                    "workload uses store='usbs' but this "
                                    "run has no volumes")
+            if "deadline_s" in entry:
+                deadline = _check_value(deadline_field,
+                                        entry["deadline_s"],
+                                        "%s.deadline_s" % path)
+            else:
+                deadline = _default(deadline_field)
             faults = self._faults(entry.get("faults"), path, pagers, merged)
-            runs.append({"name": name, "topology": merged,
-                         "faults": faults})
+            crashes = self._crashes(entry.get("crashes"), path, pagers,
+                                    merged, supervision)
+            runs.append({"name": name, "deadline_s": deadline,
+                         "topology": merged, "faults": faults,
+                         "crashes": crashes})
         if phases["wait_drains"] and all(
                 run["topology"]["volumes"] < 2 for run in runs):
             raise MissionError("phases.wait_drains",
@@ -440,12 +458,62 @@ class MissionValidator:
             rules.append(rule)
         return rules
 
-    def _expect(self, raw, domains, drivers, runs):
+    def _component_ref(self, path, component, pagers, topology):
+        """One supervised-component reference (crash rules, expects)."""
+        if component in ("", "usd"):
+            return
+        if component == "balancer":
+            if not topology["balancer"]:
+                raise MissionError(path, "'balancer' needs "
+                                         "topology.balancer = true")
+            return
+        prefix, _, rest = component.partition(":")
+        if prefix == "pager" and rest:
+            if rest not in pagers:
+                raise MissionError(path, "names no pager domain: %r"
+                                   % rest)
+            return
+        if prefix == "volume" and rest:
+            if not rest.isdigit() or int(rest) >= topology["volumes"]:
+                raise MissionError(path,
+                                   "volume index must be < volumes (%d), "
+                                   "got %r" % (topology["volumes"], rest))
+            return
+        raise MissionError(path,
+                           "must be '', 'usd', 'balancer', "
+                           "'pager:<domain>' or 'volume:<index>', got %r"
+                           % component)
+
+    def _crashes(self, raw, run_path, pagers, topology, supervision):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("%s.crashes" % run_path,
+                               "expected an array of tables")
+        if raw and not supervision["enabled"]:
+            raise MissionError("%s.crashes" % run_path,
+                               "crash rules need supervision.enabled = "
+                               "true (nothing would restart the victim)")
+        rules = []
+        for index, entry in enumerate(raw):
+            path = "%s.crashes[%d]" % (run_path, index)
+            rule = _section(entry, schema.CRASH_FIELDS, path)
+            self._component_ref("%s.component" % path, rule["component"],
+                                pagers, topology)
+            if rule["end_sec"] != -1.0 \
+                    and rule["end_sec"] <= rule["start_sec"]:
+                raise MissionError("%s.end_sec" % path,
+                                   "must be after start_sec (or -1)")
+            rules.append(rule)
+        return rules
+
+    def _expect(self, raw, domains, drivers, runs, supervision):
         if raw is None:
             return []
         if not isinstance(raw, list):
             raise MissionError("expect", "expected an array of tables")
         by_name = {d["name"]: d for d in domains}
+        pagers = {d["name"] for d in domains if d["kind"] == "pager"}
         run_names = [run["name"] for run in runs]
         runs_by_name = {run["name"]: run for run in runs}
         has_claim = any(d["kind"] == "claim" for d in drivers)
@@ -525,6 +593,30 @@ class MissionValidator:
                     raise MissionError("%s.run" % path,
                                        "share_error needs a run with "
                                        "volumes >= 1")
+            elif kind in ("recovered", "restart_budget"):
+                if not supervision["enabled"]:
+                    raise MissionError("%s.check" % path,
+                                       "%s needs supervision.enabled = "
+                                       "true" % kind)
+                run = _run_ref("run", check["run"])
+                if not check["component"]:
+                    raise MissionError("%s.component" % path,
+                                       "must name one component "
+                                       "(no wildcard)")
+                self._component_ref("%s.component" % path,
+                                    check["component"], pagers,
+                                    run["topology"])
+            elif kind == "bystander_retention_during_crash":
+                if not supervision["enabled"]:
+                    raise MissionError("%s.check" % path,
+                                       "%s needs supervision.enabled = "
+                                       "true" % kind)
+                run = _run_ref("run", check["run"])
+                _run_ref("baseline", check["baseline"])
+                _domain_refs("domains", check["domains"], _MEASURED_KINDS)
+                for ref in check["components"]:
+                    self._component_ref("%s.components" % path, ref,
+                                        pagers, run["topology"])
             else:  # exposure_contained / drained / losses_contained
                 run = _run_ref("run", check["run"])
                 _domain_refs("victim_of", [check["victim_of"]], ("pager",))
@@ -646,18 +738,26 @@ def serialize_mission(mission):
         lines.append("[[behaviors]]")
         _emit_pairs(lines, rule)
         lines.append("")
+    lines.append("[supervision]")
+    _emit_pairs(lines, mission["supervision"])
+    lines.append("")
     lines.append("[phases]")
     _emit_pairs(lines, mission["phases"])
     lines.append("")
     for run in mission["runs"]:
         lines.append("[[runs]]")
         lines.append("name = %s" % _toml_str(run["name"]))
+        lines.append("deadline_s = %s" % _toml_value(run["deadline_s"]))
         lines.append("")
         lines.append("[runs.topology]")
         _emit_pairs(lines, run["topology"])
         lines.append("")
         for rule in run["faults"]:
             lines.append("[[runs.faults]]")
+            _emit_pairs(lines, rule)
+            lines.append("")
+        for rule in run["crashes"]:
+            lines.append("[[runs.crashes]]")
             _emit_pairs(lines, rule)
             lines.append("")
     lines.append("[determinism]")

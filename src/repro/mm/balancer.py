@@ -45,7 +45,7 @@ class MemoryBalancer:
 
     def __init__(self, system, period=500 * MS, grant_batch=8,
                  min_pressure=2.0, headroom_frames=None,
-                 pressure_ratio=4.0):
+                 pressure_ratio=4.0, warm_start=None):
         """Args:
             system: the NemesisSystem to balance.
             period: sampling interval.
@@ -55,6 +55,11 @@ class MemoryBalancer:
                 the allocator's system reserve).
             pressure_ratio: rebalancing moves memory only when the needy
                 client faults at least this much harder than the donor.
+            warm_start: a {client name: cumulative fault count} snapshot
+                (see :meth:`snapshot`) seeding the pressure baseline, so
+                a balancer restarted by the supervisor resumes with the
+                dead instance's last observation instead of mistaking
+                every client's lifetime fault total for fresh pressure.
         """
         self.system = system
         self.period = period
@@ -64,7 +69,7 @@ class MemoryBalancer:
                          if headroom_frames is None else headroom_frames)
         self.pressure_ratio = pressure_ratio
         self.decisions: List[BalancerDecision] = []
-        self._last_faults = {}
+        self._last_faults = dict(warm_start) if warm_start else {}
         self.errors = 0
         self.orphan_grants = 0
         self._c_errors = system.metrics.counter(
@@ -74,6 +79,10 @@ class MemoryBalancer:
         self._proc = system.sim.spawn(self._run(), name="memory-balancer")
 
     # -- observation -----------------------------------------------------
+
+    def snapshot(self):
+        """The warm-start checkpoint: last observed fault counts."""
+        return dict(self._last_faults)
 
     def _clients(self):
         return [c for c in self.system.frames_allocator.clients

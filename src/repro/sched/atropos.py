@@ -38,6 +38,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.obs.metrics import NULL_REGISTRY
+from repro.sim.core import Interrupt
 from repro.sim.units import fmt_time
 
 
@@ -251,6 +252,7 @@ class AtroposScheduler:
         self.clients = []
         self._wake = sim.event("%s.wake" % name)
         self._next_index = 0
+        self._current = None     # (client, item) while one is in flight
         self._proc = sim.spawn(self._loop(), name="%s-loop" % name)
 
     # -- admission -----------------------------------------------------------
@@ -299,6 +301,52 @@ class AtroposScheduler:
                 "client %s departed; queued %r discarded"
                 % (client.name, item.label)))
         client._g_queue.set(0)
+        self._kick()
+
+    # -- crash / restart -------------------------------------------------------
+
+    def crash(self, reason="crash"):
+        """Kill the scheduling loop mid-flight (crash-fault injection).
+
+        The interrupt lands on the next dispatch at the current
+        simulated time; the abort of the in-flight item is scheduled
+        *after* it (same time, later insertion order) so the loop is
+        provably dead before the item is touched. The in-flight item is
+        returned to the head of its owner's queue: ``WorkItem.serve``
+        is a zero-argument callable returning a fresh generator, so
+        re-serving after :meth:`restart` replays the whole transaction
+        (abort-and-replay). Partially-elapsed service time dies with
+        the loop uncharged; the replay is charged in full to the same
+        owner, so a crash can never shift cost onto a bystander.
+        """
+        self._proc.interrupt(reason)
+        self.sim._schedule(0, self._abort_current)
+
+    def _abort_current(self):
+        if self._current is None:
+            return
+        client, item = self._current
+        self._current = None
+        if not client.departed and not item.done.triggered:
+            client.queue.appendleft(item)
+            client._g_queue.set(len(client.queue))
+
+    @property
+    def running(self):
+        """Whether the scheduling loop process is alive."""
+        return self._proc.alive
+
+    def restart(self):
+        """Respawn the scheduling loop after :meth:`crash`.
+
+        Clients, queues and allocations all survive the crash (the
+        per-client refill loops never stopped), so the new loop resumes
+        EDF over the existing contracts — the replayed head item first.
+        """
+        if self._proc.alive:
+            raise RuntimeError("%s: loop is still alive" % self.name)
+        self._proc = self.sim.spawn(self._loop(),
+                                    name="%s-loop" % self.name)
         self._kick()
 
     # -- internals -------------------------------------------------------------
@@ -359,14 +407,20 @@ class AtroposScheduler:
     def _serve(self, client, item, charged):
         """Run one item to completion, measuring and charging its time."""
         start = self.sim.now
+        self._current = (client, item)
         try:
             value = yield from item.serve()
+        except Interrupt:
+            # Crash in flight: die; _abort_current requeues the item.
+            raise
         except Exception as exc:  # propagate to the submitter, keep scheduling
+            self._current = None
             duration = self.sim.now - start
             if charged:
                 client.remaining -= duration
             item.done.fail(exc)
             return
+        self._current = None
         duration = self.sim.now - start
         client._h_txn.observe(duration)
         client._c_items.inc()

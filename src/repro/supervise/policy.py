@@ -1,0 +1,61 @@
+"""Restart policies: how often a component may come back, and how fast.
+
+A policy answers two questions the supervisor asks on every crash:
+*may I restart this component again?* (a sliding-window budget — more
+than ``max_restarts`` restarts within ``window_ns`` escalates instead)
+and *after how long?* (exponential backoff by consecutive in-window
+attempts, capped). Both answers are pure functions of the restart
+history and the current simulated time, so a crash storm recovers
+identically on every run of the same seed.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.units import MS, SEC
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """A sliding-window restart budget with exponential backoff.
+
+    Attributes:
+        backoff_ns: delay before the first in-window restart.
+        backoff_factor: multiplier per consecutive in-window restart.
+        max_backoff_ns: backoff ceiling.
+        max_restarts: restarts allowed inside any ``window_ns`` span;
+            one more crash escalates (degrade, then retire).
+        window_ns: the sliding window the budget is counted over.
+    """
+
+    backoff_ns: int = 100 * MS
+    backoff_factor: float = 2.0
+    max_backoff_ns: int = 2 * SEC
+    max_restarts: int = 2
+    window_ns: int = 5 * SEC
+
+    def __post_init__(self):
+        if self.backoff_ns <= 0:
+            raise ValueError("backoff_ns must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_ns < self.backoff_ns:
+            raise ValueError("max_backoff_ns must be >= backoff_ns")
+        if self.max_restarts < 0:
+            raise ValueError("negative max_restarts")
+        if self.window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+
+    def in_window(self, restart_times, now):
+        """How many past restarts still count against the budget."""
+        return sum(1 for when in restart_times
+                   if now - when < self.window_ns)
+
+    def allows(self, restart_times, now):
+        """Whether another restart fits the sliding-window budget."""
+        return self.in_window(restart_times, now) < self.max_restarts
+
+    def backoff(self, restart_times, now):
+        """Backoff before the next restart, by in-window attempt count."""
+        attempt = self.in_window(restart_times, now)
+        delay = self.backoff_ns * (self.backoff_factor ** attempt)
+        return min(int(delay), self.max_backoff_ns)

@@ -232,6 +232,10 @@ class App:
                     # The domain is dead: nobody will collect queued
                     # completions, so discard them (their events fail).
                     service.depart(client, discard=True)
+            if system.usbs is not None and swap in system.usbs.backings:
+                # A dead app's backing must not take part in future
+                # volume drains (its streams are gone).
+                system.usbs.backings.remove(swap)
         if self in system.apps:
             system.apps.remove(self)
 

@@ -319,6 +319,10 @@ class VolumeManager:
         Always triggers ``done`` — the drain coordinator joins on it."""
         try:
             for local in range(offset, old_shard.nbloks, stride):
+                if swap not in self.backings:
+                    # The owner shut down mid-drain; its streams are
+                    # departed and there is nothing left to rescue.
+                    break
                 if swap.is_migrated(index, local):
                     continue
                 while not old_shard.channel.can_submit:

@@ -240,3 +240,80 @@ class TestWatchdog:
         assert app.mmentry.watchdog_kills == 0
         assert thread.state is not ThreadState.DEAD
         assert progress["pages"] > 100
+
+
+class TestWatchdogRetryInteraction:
+    """The MMEntry watchdog firing *inside* a USD retry ladder.
+
+    A 100%-transient swap extent plus a patient retry policy turns the
+    first page-out into a wedge made entirely of legitimate retries:
+    the USD stream keeps retrying (each failed attempt and backoff
+    charged to the victim's own stream) while the MMEntry worker sits
+    blocked past its resolution deadline. The two recovery mechanisms
+    must compose: the watchdog charges exactly one FaultTimeout kill
+    to the faulting domain, the still-running retry ladder neither
+    revives nor re-kills the dead thread, and the worker slot comes
+    back clean — no double-kill, no leaked pending work item.
+    """
+
+    def _wedge(self):
+        from repro.usd.usd import RetryPolicy
+        system = NemesisSystem(fault_timeout=500 * MS)
+        app, stretch, driver = build_pager(system)
+        # Patient enough that the ladder outlives the watchdog: the
+        # wedge is made of retries, not a stuck transaction.
+        driver.swap.channel.usd_client.retry = RetryPolicy(
+            max_retries=1000, backoff_ns=20 * MS,
+            backoff_cap_ns=100 * MS, deadline_ns=120 * SEC)
+        extent = driver.swap.extent
+        system.install_fault_plan(FaultPlan(seed=7, rules=(
+            FaultRule(kind=TRANSIENT, rate=1.0,
+                      lba_start=extent.start, lba_end=extent.end),)))
+        return system, app, stretch, driver
+
+    def test_exactly_one_kill_charged_to_the_faulting_domain(self):
+        system, app, stretch, driver = self._wedge()
+        system.new_app("other", guaranteed_frames=2)
+        victim = app.spawn(walker(stretch, {}))
+        system.run(5 * SEC)
+        usd_client = driver.swap.channel.usd_client
+        # The wedge really was the retry ladder: retries happened, the
+        # ladder never exhausted its budget (the watchdog won the race).
+        assert usd_client.retries > 0
+        assert usd_client.failures == 0
+        # Exactly one FaultTimeout kill, charged to the faulting
+        # domain and nobody else.
+        assert victim.state is ThreadState.DEAD
+        assert app.mmentry.watchdog_kills == 1
+        snap = system.metrics_snapshot()
+        assert snap.get("mm_watchdog_kills_total", domain="vic") == 1
+        assert snap.get("mm_watchdog_kills_total", domain="other") == 0
+        # ...and so is every retry in the ladder that wedged it.
+        assert snap.get("usd_retries_total",
+                        client=driver.name) == usd_client.retries
+
+    def test_no_double_kill_and_no_leaked_work_item(self):
+        system, app, stretch, driver = self._wedge()
+        app.spawn(walker(stretch, {}))
+        bystander_progress = {}
+        bystander = app.spawn(ticker(bystander_progress))
+        system.run(5 * SEC)
+        assert app.mmentry.watchdog_kills == 1
+        # The retry ladder is still draining in the USD domain; give
+        # its completions (and any stale watchdog timers) time to land.
+        system.run_for(5 * SEC)
+        # No double-kill: the count is stable and the worker slot that
+        # took the FaultTimeout survived to serve the next fault.
+        assert app.mmentry.watchdog_kills == 1
+        for slot in app.mmentry._slots:
+            assert slot.thread.state is not ThreadState.DEAD
+            assert slot.fault is None
+        # No leaked pending work item: the queue drained and the
+        # depth gauge agrees.
+        assert len(app.mmentry._work) == 0
+        snap = system.metrics_snapshot()
+        assert snap.get("mm_work_queue_depth", domain="vic") == 0
+        # The domain itself never died; bystander threads kept running.
+        assert not app.domain.dead
+        assert bystander.state is not ThreadState.DEAD
+        assert bystander_progress["ticks"] > 1000

@@ -17,6 +17,14 @@ from repro.missions import serialize_mission
 from tests.test_missions_runner import REPO, tiny_mission
 
 
+def _crashing_worker(path):
+    """A worker body that hard-kills its own process for one mission
+    (simulating a segfault/OOM kill) and runs the rest normally."""
+    if "tiny-doomed" in path:
+        os._exit(17)
+    return sweep._worker(path)
+
+
 @pytest.fixture
 def corpus(tmp_path):
     """Two valid tiny missions on disk (one marked smoke)."""
@@ -72,7 +80,8 @@ class TestSweep:
         assert aggregate["jobs"] == 2
         assert aggregate["passed"] is True
         assert aggregate["counts"] == {
-            "total": 2, "passed": 2, "failed": 0, "vacuous": 0}
+            "total": 2, "passed": 2, "failed": 0, "vacuous": 0,
+            "crashed": 0}
         names = [row["name"] for row in aggregate["missions"]]
         assert names == sorted(names) == ["tiny-full", "tiny-smoke"]
         for name in names:
@@ -126,3 +135,59 @@ class TestSweep:
         assert row["passed"] is False
         assert row["invariants_failed"][0]["check"] == "progress"
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestWorkerCrash:
+    """A worker process dying outright must not take the sweep down."""
+
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        """Three missions: two healthy, one whose worker will die."""
+        directory = tmp_path / "missions"
+        directory.mkdir()
+        for name, seed in (("tiny-a", 3), ("tiny-doomed", 5),
+                           ("tiny-z", 7)):
+            mission = tiny_mission(name=name, seed=seed)
+            (directory / ("%s.toml" % name)).write_text(
+                serialize_mission(mission), encoding="utf-8")
+        return directory
+
+    def test_crashed_worker_fails_only_its_mission(self, corpus,
+                                                   tmp_path):
+        """The crasher is charged FAIL/worker_crashed; the bystanders
+        (poisoned on the same broken pool) complete on the retry."""
+        paths = sweep.discover([str(corpus)])
+        aggregate = sweep.sweep(paths, jobs=2,
+                                out_dir=str(tmp_path / "results"),
+                                worker=_crashing_worker)
+        assert aggregate["passed"] is False
+        assert aggregate["counts"] == {
+            "total": 3, "passed": 2, "failed": 1, "vacuous": 0,
+            "crashed": 1}
+        rows = {row["name"]: row for row in aggregate["missions"]}
+        assert rows["tiny-doomed"]["passed"] is False
+        assert rows["tiny-doomed"]["error"] == "worker_crashed"
+        assert rows["tiny-doomed"]["invariants_failed"] == []
+        for name in ("tiny-a", "tiny-z"):
+            assert rows[name]["passed"] is True
+            assert rows[name]["error"] is None
+
+    def test_survivor_reports_still_written(self, corpus, tmp_path):
+        """Per-mission report files exist for the survivors and not
+        for the crasher (it produced no report to write)."""
+        out = tmp_path / "results"
+        paths = sweep.discover([str(corpus)])
+        sweep.sweep(paths, jobs=2, out_dir=str(out),
+                    worker=_crashing_worker)
+        assert (out / "missions" / "tiny-a.json").exists()
+        assert (out / "missions" / "tiny-z.json").exists()
+        assert not (out / "missions" / "tiny-doomed.json").exists()
+
+    def test_crash_row_rendered_in_summary(self, corpus, tmp_path):
+        paths = sweep.discover([str(corpus)])
+        aggregate = sweep.sweep(paths, jobs=2,
+                                out_dir=str(tmp_path / "results"),
+                                worker=_crashing_worker)
+        text = sweep.format_aggregate(aggregate)
+        assert "worker_crashed" in text
+        assert "2/3 passed" in text
