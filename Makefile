@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
     scale scale-smoke sweep sweep-smoke missions-lint matrix-drift \
-    crash lint docs-lint
+    crash integrity lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -79,6 +79,13 @@ crash:
 	$(PYTHON) -m repro.exp crash
 	$(PYTHON) -m pytest -q -m crash
 
+# Integrity plane: silent-corruption storms against the end-to-end
+# checksummed swap (results/integrity.json; zero undetected
+# corruptions, the repair ledger, scrub-overhead floors and the
+# rot-escalation drain enforced).
+integrity:
+	$(PYTHON) -m repro.exp integrity
+
 lint:
 	$(PYTHON) -m compileall -q src
 
@@ -86,4 +93,4 @@ lint:
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
 	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions \
-	    src/repro/supervise
+	    src/repro/supervise src/repro/integrity

@@ -7,6 +7,7 @@
     python -m repro.exp scale [--smoke] [--out DIR]
     python -m repro.exp sweep [--smoke] [--lint] [--jobs N] [--out DIR]
     python -m repro.exp crash [--out DIR]
+    python -m repro.exp integrity [--out DIR]
     python -m repro.exp --profile [experiment ...]
 
 Without arguments, everything runs at paper scale (~30 s of wall-clock
@@ -20,7 +21,8 @@ scale-out and failure-containment experiment (:mod:`repro.exp.scale`);
 ``sweep`` validates and executes the declarative mission corpus under
 ``missions/`` across parallel workers (:mod:`repro.exp.sweep`);
 ``crash`` runs the supervised component-crash recovery scenario
-(:mod:`repro.exp.crash`).
+(:mod:`repro.exp.crash`); ``integrity`` runs the silent-corruption
+detect/repair/declare scenario (:mod:`repro.exp.integrity`).
 ``--profile`` wraps the selected
 experiments in :mod:`cProfile` and writes a pstats dump per experiment
 under ``results/`` alongside a printed top-25 by cumulative time.
@@ -33,7 +35,8 @@ import sys
 import time
 
 from repro.exp import (ablations, bench, chaos, crash, fig7, fig8, fig9,
-                       metrics_report, microbench, pressure, scale, sweep)
+                       integrity, metrics_report, microbench, pressure,
+                       scale, sweep)
 
 
 def _banner(title):
@@ -141,6 +144,9 @@ def main(argv):
     if argv and argv[0] == "crash":
         _banner("Crash — supervised component-crash recovery")
         return crash.main(argv[1:])
+    if argv and argv[0] == "integrity":
+        _banner("Integrity — silent corruption, accountable repair")
+        return integrity.main(argv[1:])
     targets = argv or ["all"]
     if targets == ["all"]:
         targets = list(RUNNERS)
@@ -148,7 +154,7 @@ def main(argv):
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
         print("choose from: %s, all (also: report, bench, scale, sweep, "
-              "crash)" % ", ".join(RUNNERS))
+              "crash, integrity)" % ", ".join(RUNNERS))
         return 1
     started = time.time()
     for target in targets:

@@ -11,7 +11,17 @@ in ``results/sweep.json``. The exit status is non-zero if any mission
 FAILs, is vacuous, or is irreproducible. A worker process that dies
 outright (segfault, OOM kill) fails only its own mission — the row is
 charged ``error: worker_crashed`` and every other mission still runs
-on a rebuilt pool.
+on a rebuilt pool. The lone-suspect retry after such a crash is also
+*bounded*: the runner's own ``runs.deadline_s`` hang guard only works
+while Python bytecode executes, so a retry wedged below it (a stuck
+syscall, a C-level loop) is abandoned once the mission's summed
+deadlines elapse and charged a canonical ``hung`` report — the sweep
+itself never hangs.
+
+Each aggregate row also carries ``rule_fires``: the per-run injection
+counts for every rule across all four fault planes (faults,
+behaviors, corruptions, crashes), lifted from the report's audit so a
+whole-corpus view of injection pressure needs no per-report spelunking.
 
     python -m repro.exp sweep                 # the full corpus
     python -m repro.exp sweep --smoke         # the reduced CI matrix
@@ -28,13 +38,19 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.missions import (MissionError, load_mission, report_json,
-                            run_mission)
+from repro.missions import (REPORT_SCHEMA_VERSION, MissionError,
+                            load_mission, report_json, run_mission)
 
 #: Bump on incompatible changes to the ``results/sweep.json`` layout.
-SWEEP_SCHEMA_VERSION = 1
+#: v2: rows gained ``rule_fires``, counts gained ``hung``.
+SWEEP_SCHEMA_VERSION = 2
+
+#: Wall-clock slack added to a mission's summed run deadlines before
+#: its retry is declared hung: worker spawn, import, report pickling.
+RETRY_SLACK_SEC = 30.0
 
 #: Directories searched for mission files, in order.
 DEFAULT_DIRS = (os.path.join("missions"),
@@ -100,7 +116,58 @@ def _summarise(outcome):
         "reproducible": report["reproducible"],
         "vacuous": report["audit"]["vacuous"],
         "invariants_failed": failed,
+        "rule_fires": _rule_fires(report),
         "error": None,
+    }
+
+
+def _retry_budget(path):
+    """Wall-clock budget (seconds) for one mission's lone retry: the
+    sum of every run's ``deadline_s`` (the determinism repeat run is
+    charged twice — it executes twice) plus fixed slack. This is the
+    outer bound on a run-away worker; the in-worker hang guard fires
+    far earlier whenever Python is still executing."""
+    mission = load_mission(path)
+    budget = sum(run["deadline_s"] for run in mission["runs"])
+    repeat = mission["determinism"]["repeat"]
+    for run in mission["runs"]:
+        if run["name"] == repeat:
+            budget += run["deadline_s"]
+    return budget + RETRY_SLACK_SEC
+
+
+def _hung_report(mission, budget):
+    """The canonical FAIL report for a mission whose retry blew its
+    wall-clock budget *outside* the runner's own hang guard. Mirrors
+    :meth:`MissionRunner.run`'s hung shape; ``error.run`` is null
+    because the parent cannot know which run wedged."""
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "mission": dict(mission["mission"]),
+        "runs": {},
+        "invariants": [],
+        "audit": {"passed": False, "fired": {}, "vacuous": []},
+        "error": {"reason": "hung", "run": None, "deadline_s": budget},
+        "reproducible": None,
+        "passed": False,
+    }
+
+
+def _hung_row(path, budget):
+    """The aggregate row for a mission whose retry was abandoned after
+    ``budget`` seconds of wall-clock: a FAIL with reason ``hung``."""
+    mission = load_mission(path)
+    return {
+        "name": mission["mission"]["name"],
+        "family": mission["mission"]["family"],
+        "path": path,
+        "elapsed_sec": round(budget, 2),
+        "passed": False,
+        "reproducible": None,
+        "vacuous": [],
+        "invariants_failed": [],
+        "rule_fires": {},
+        "error": "hung",
     }
 
 
@@ -119,18 +186,38 @@ def _crash_row(path):
         "reproducible": None,
         "vacuous": [],
         "invariants_failed": [],
+        "rule_fires": {},
         "error": "worker_crashed",
     }
 
 
-def _execute(paths, jobs, worker):
+def _rule_fires(report):
+    """Per-run, per-plane rule fire counts from the report's audit,
+    with silent planes stripped: ``{run: {plane: {rule_index: n}}}``.
+    Missing ``counts`` (a pre-v2 report) collapses to ``{}``."""
+    fires = {}
+    for run_name, fired in report["audit"]["fired"].items():
+        counts = {plane: mapping
+                  for plane, mapping in fired.get("counts", {}).items()
+                  if mapping}
+        if counts:
+            fires[run_name] = counts
+    return fires
+
+
+def _execute(paths, jobs, worker, budget=_retry_budget):
     """Run ``worker`` over ``paths`` on a process pool, surviving
     worker crashes. A dead worker poisons every future still queued on
     the broken pool, so each poisoned mission is retried alone in a
     fresh single-worker pool: innocent bystanders complete on the
     retry, and only missions that kill their own private pool are
-    tagged as crashers. Returns ``(outcomes, crashed_paths)``."""
-    outcomes, suspects, crashed = {}, [], []
+    tagged as crashers. The retry is additionally bounded by the
+    mission's summed ``deadline_s`` budget (``budget`` is injectable
+    for tests): a worker wedged below the runner's in-process hang
+    guard is abandoned — its orphan process is disowned, not joined —
+    and tagged as hung. Returns ``(outcomes, crashed, hung)`` where
+    ``hung`` is a list of ``(path, budget_sec)``."""
+    outcomes, suspects, crashed, hung = {}, [], [], []
     if jobs > 1 and len(paths) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {path: pool.submit(worker, path) for path in paths}
@@ -140,32 +227,54 @@ def _execute(paths, jobs, worker):
                 except BrokenProcessPool:
                     suspects.append(path)
         for path in suspects:
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                try:
-                    outcomes[path] = pool.submit(worker, path).result()
-                except BrokenProcessPool:
-                    crashed.append(path)
+            seconds = budget(path)
+            pool = ProcessPoolExecutor(max_workers=1)
+            try:
+                outcomes[path] = pool.submit(worker, path).result(
+                    timeout=seconds)
+            except BrokenProcessPool:
+                crashed.append(path)
+            except FutureTimeout:
+                hung.append((path, seconds))
+                # Abandon the wedged worker: cancel anything queued
+                # and return without joining the stuck process —
+                # pool.shutdown(wait=True) would hang the sweep on
+                # exactly the condition this path exists to contain.
+                pool.shutdown(wait=False, cancel_futures=True)
+                continue
+            pool.shutdown()
     else:
         for path in paths:
             outcomes[path] = worker(path)
-    return [outcomes[path] for path in paths if path in outcomes], crashed
+    return ([outcomes[path] for path in paths if path in outcomes],
+            crashed, hung)
 
 
-def sweep(paths, jobs, out_dir, worker=_worker):
+def sweep(paths, jobs, out_dir, worker=_worker, budget=_retry_budget):
     """Run every mission in ``paths`` on ``jobs`` workers; write the
     per-mission reports and the aggregate; return the aggregate.
-    ``worker`` is injectable so tests can stand in a crashing body."""
+    ``worker`` is injectable so tests can stand in a crashing body;
+    ``budget`` so they can stand in a tiny retry deadline."""
     report_dir = os.path.join(out_dir, "missions")
     os.makedirs(report_dir, exist_ok=True)
     started = time.monotonic()
     rows = []
-    outcomes, crashed = _execute(paths, jobs, worker)
+    outcomes, crashed, hung = _execute(paths, jobs, worker, budget)
     for outcome in outcomes:
         with open(os.path.join(report_dir, "%s.json" % outcome["name"]),
                   "w", encoding="utf-8") as fh:
             fh.write(report_json(outcome["report"]))
         rows.append(_summarise(outcome))
     rows.extend(_crash_row(path) for path in crashed)
+    for path, seconds in hung:
+        # The hung mission still gets a canonical (FAIL) report on
+        # disk, so downstream consumers never special-case a gap.
+        row = _hung_row(path, seconds)
+        mission = load_mission(path)
+        with open(os.path.join(report_dir, "%s.json" % row["name"]),
+                  "w", encoding="utf-8") as fh:
+            fh.write(report_json(_hung_report(mission, seconds)))
+        rows.append(row)
     rows.sort(key=lambda row: row["name"])
     aggregate = {
         "schema_version": SWEEP_SCHEMA_VERSION,
@@ -177,6 +286,7 @@ def sweep(paths, jobs, out_dir, worker=_worker):
             "failed": sum(1 for row in rows if not row["passed"]),
             "vacuous": sum(1 for row in rows if row["vacuous"]),
             "crashed": len(crashed),
+            "hung": len(hung),
         },
         "elapsed_sec": round(time.monotonic() - started, 2),
         "passed": all(row["passed"] for row in rows),

@@ -39,7 +39,7 @@ Injection points: the MMEntry revocation channel
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.faults.plan import _draw
+from repro.faults.plan import FireRecorder, _draw
 from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.units import MS
 
@@ -187,9 +187,9 @@ class BehaviorInjector:
             "behavior_faults_injected_total",
             help="domain-behaviour faults injected, by kind and domain")
         self.injected = 0
-        #: Indices of plan rules observed firing at least once — the
+        #: Fire evidence per plan rule (set-like, with counts) — the
         #: mission plane's injection-audit evidence.
-        self.observed = set()
+        self.observed = FireRecorder()
         self._seq = {}
 
     def _next_seq(self, scope, domain):

@@ -28,7 +28,7 @@ driver domain), and ``volume:<index>`` (one USBS volume's driver).
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.faults.plan import _draw
+from repro.faults.plan import FireRecorder, _draw
 from repro.obs.metrics import NULL_REGISTRY
 
 CRASH = "crash"
@@ -152,9 +152,9 @@ class CrashInjector:
             "crash_faults_injected_total",
             help="component crashes injected, by component")
         self.injected = 0
-        #: Indices of plan rules observed firing at least once — the
+        #: Fire evidence per plan rule (set-like, with counts) — the
         #: mission plane's injection-audit evidence.
-        self.observed = set()
+        self.observed = FireRecorder()
         #: rule index -> kills delivered (enforces ``max_crashes``).
         self.fired = {}
         self._seq = {}

@@ -60,6 +60,42 @@ def _draw(seed, *key):
     return int.from_bytes(digest, "big") / 2.0 ** 64
 
 
+class FireRecorder:
+    """Set-like audit evidence with per-rule fire *counts*.
+
+    The plans record which rule indices fired through
+    ``observed.add(index)``; this recorder keeps both the set of
+    indices that ever fired and how many times each did, so mission
+    reports can show per-rule counts rather than a boolean. It
+    iterates and compares like the plain ``set`` the plans were
+    written against, so plans and tests need not care which they get.
+    """
+
+    def __init__(self):
+        self.counts = {}
+
+    def add(self, index):
+        """Record one firing of rule ``index``."""
+        self.counts[index] = self.counts.get(index, 0) + 1
+
+    def __contains__(self, index):
+        return index in self.counts
+
+    def __iter__(self):
+        return iter(self.counts)
+
+    def __len__(self):
+        return len(self.counts)
+
+    def __eq__(self, other):
+        if isinstance(other, FireRecorder):
+            return self.counts == other.counts
+        return set(self.counts) == other
+
+    def __repr__(self):
+        return "<FireRecorder %r>" % (self.counts,)
+
+
 @dataclass(frozen=True)
 class FaultRule:
     """One injection rule, scoped by LBA range, operation and time.
@@ -273,9 +309,9 @@ class FaultInjector:
             "faults_injected_total",
             help="storage faults injected, by kind and victim stream")
         self.injected = 0
-        #: Indices of plan rules observed firing at least once — the
+        #: Fire evidence per plan rule (set-like, with counts) — the
         #: mission plane's injection-audit evidence.
-        self.observed = set()
+        self.observed = FireRecorder()
 
     def decide(self, req, now):
         decision = self.plan.decide(req, now, observed=self.observed)

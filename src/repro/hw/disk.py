@@ -161,6 +161,12 @@ class DiskResult:
     duration: int
     cached: bool
     status: str = STATUS_OK
+    #: Silent-corruption marker: None for the true payload, else the
+    #: corruption kind riding along a *successful* read. The transport
+    #: layers never look at it — only an end-to-end checksum
+    #: (:mod:`repro.integrity`) can tell the difference, exactly as
+    #: with a real drive.
+    corrupt: Optional[str] = None
 
     @property
     def ok(self):
@@ -203,11 +209,12 @@ class Disk:
     """
 
     def __init__(self, sim, geometry=QUANTUM_VP3221, trace=None,
-                 injector=None):
+                 injector=None, corruptor=None):
         self.sim = sim
         self.geometry = geometry
         self.trace = trace
         self.injector = injector   # optional repro.faults.FaultInjector
+        self.corruptor = corruptor  # optional repro.faults.CorruptionInjector
         self.head_cylinder = 0
         self._segments = []  # LRU order: index 0 oldest
         self._busy = False
@@ -298,8 +305,16 @@ class Disk:
             yield self.sim.timeout(duration)
         finally:
             self._busy = False
+        corrupt = None
         if status == STATUS_OK:
             self._commit(req, cached)
+            if self.corruptor is not None:
+                if req.kind == READ:
+                    decision = self.corruptor.decide_read(req, start)
+                    if decision is not None:
+                        corrupt = decision.kind
+                else:
+                    self.corruptor.note_write(req, start)
         else:
             # The head still moved (the drive tried); no data moved, so
             # no cache segment is created or advanced.
@@ -307,7 +322,7 @@ class Disk:
             self.head_cylinder = self.geometry.cylinder_of(req.lba)
         self.stats_busy_ns += duration
         result = DiskResult(request=req, start=start, duration=duration,
-                            cached=cached, status=status)
+                            cached=cached, status=status, corrupt=corrupt)
         if self.trace is not None:
             self.trace.record(start, "disk", req.client or "?",
                               duration=duration, kind=req.kind,

@@ -1,0 +1,34 @@
+"""End-to-end integrity for the User-Safe Backing Store.
+
+The fourth fault plane (:mod:`repro.faults.corrupt`) injects silent
+data corruption — reads that succeed with the wrong bytes. This
+package is the defence: a content model with real BLAKE2b digests
+(:mod:`repro.integrity.checksum`), a verifying swap wrapper with a
+detect→quarantine→repair→declare ladder
+(:mod:`repro.integrity.swap`), and a bounded-rate background scrubber
+plus per-volume escalation (:mod:`repro.integrity.scrub`). Every
+byte of detection, repair and scrubbing I/O flows through the owning
+domain's own USD stream — self-paging accountability (§4) applied to
+data integrity.
+"""
+
+from repro.integrity.checksum import (
+    DIGEST_BYTES,
+    PAYLOAD_BYTES,
+    blok_payload,
+    checksum,
+    corrupt_payload,
+)
+from repro.integrity.scrub import Scrubber, VolumeEscalator
+from repro.integrity.swap import (
+    DEMAND,
+    SCRUB,
+    ChecksummedSwap,
+    CorruptDataError,
+)
+
+__all__ = [
+    "DEMAND", "DIGEST_BYTES", "PAYLOAD_BYTES", "SCRUB",
+    "ChecksummedSwap", "CorruptDataError", "Scrubber",
+    "VolumeEscalator", "blok_payload", "checksum", "corrupt_payload",
+]

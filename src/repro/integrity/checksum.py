@@ -1,0 +1,62 @@
+"""The checksum model: deterministic payloads and BLAKE2b digests.
+
+The simulation models timing, placement and accounting — not page
+contents — so end-to-end integrity needs a *content model*: a pure
+function from ``(backing name, blok, write generation)`` to the bytes
+that write put on disk. :func:`blok_payload` is that function, and
+:func:`corrupt_payload` is what a silently-corrupted read returns
+instead (a salted variant guaranteed to differ). The checksums
+themselves are real — :func:`checksum` is keyed BLAKE2b over the
+payload bytes — so the detection argument is the same one a real
+system makes: a corrupt payload verifies against a stored digest if
+and only if BLAKE2b collides.
+
+Payloads are 32-byte representative tokens rather than full 4 KB
+pages: the digest comparison is exact either way, and the simulation
+never moves real page data.
+"""
+
+import hashlib
+
+#: Byte length of the modeled blok payload tokens.
+PAYLOAD_BYTES = 32
+
+#: Hex-digest length of :func:`checksum` (BLAKE2b, 16-byte digest).
+DIGEST_BYTES = 16
+
+
+def checksum(payload):
+    """The BLAKE2b digest (hex) of one blok payload.
+
+    This is the stored-and-verified quantity: computed at swap-out,
+    recorded beside the blok, recomputed at swap-in and compared.
+    """
+    return hashlib.blake2b(payload, digest_size=DIGEST_BYTES).hexdigest()
+
+
+def blok_payload(name, blok, generation):
+    """The true payload written by generation ``generation`` of blok
+    ``blok`` in backing ``name`` — a pure function, so writer and
+    verifier derive identical bytes without shipping data around."""
+    data = ("payload|%s|%d|%d" % (name, blok, generation)).encode()
+    return hashlib.blake2b(data, digest_size=PAYLOAD_BYTES).digest()
+
+
+def corrupt_payload(name, blok, generation, kind):
+    """What a silently-corrupted read of the blok returns.
+
+    ``bit_flip`` flips one bit of the true payload; ``torn_write``
+    splices the previous generation's first half onto the new second
+    half; ``misdirected_write`` returns a salted foreign payload (the
+    drive put someone else's bytes here). All three differ from
+    :func:`blok_payload` by construction, so a stored digest catches
+    every one — the end-to-end argument, not a modeling shortcut.
+    """
+    true = blok_payload(name, blok, generation)
+    if kind == "bit_flip":
+        return bytes([true[0] ^ 0x01]) + true[1:]
+    if kind == "torn_write":
+        old = blok_payload(name, blok, generation - 1)
+        return old[:PAYLOAD_BYTES // 2] + true[PAYLOAD_BYTES // 2:]
+    data = ("misdirected|%s|%d|%d" % (name, blok, generation)).encode()
+    return hashlib.blake2b(data, digest_size=PAYLOAD_BYTES).digest()

@@ -29,6 +29,13 @@ bystanders unharmed where the component is not shared infrastructure,
 and — for the volume storm that exhausts its restart budget — the
 escalation ladder's drain-and-retire verdict.
 
+The ``corruption`` family rides along too: one mission per
+(corruption kind x topology) cell, each raising a silent-corruption
+storm on coop-a's backing under the integrity plane and expecting zero
+corruptions delivered unverified, every detection accounted repaired
+or lost, and the bystander's bandwidth held through the storm (scrub
+and repair I/O charged to the suffering account).
+
 ``python -m repro.missions.matrix [--out missions/matrix]`` writes the
 corpus; ``build_matrix()`` returns the normalised mission dicts.
 """
@@ -55,6 +62,18 @@ EXTRA_PINNED = (("silent", "transient"), ("silent", "compound"),
 #: Crash-recovery cells: (mission suffix, crashed component kind).
 CRASH_CELLS = ("pager", "balancer", "usd", "volume")
 
+#: Corruption cells: (corruption kind, topology). ``bit_flip`` is the
+#: transient/repairable end of the ladder, ``torn_write`` the
+#: persistent/declare-lost end (on the single disk), and
+#: ``misdirected_write`` the volume-escalation end (persistent
+#: corruption concentrated on one striped volume).
+CORRUPTION_CELLS = (
+    ("bit_flip", "sfs"),
+    ("torn_write", "sfs"),
+    ("bit_flip", "striped4"),
+    ("misdirected_write", "striped4"),
+)
+
 #: The reduced CI matrix (``repro.exp sweep --smoke``): one mission
 #: per topology x {killed-hostile, surviving-or-no-hostile} cell,
 #: plus the restart and the escalation ends of the crash ladder.
@@ -67,6 +86,8 @@ SMOKE = frozenset((
     "matrix-partial-compound-pinned4",
     "crash-pager-sfs",
     "crash-volume-pinned4",
+    "corruption-bitflip-sfs",
+    "corruption-misdirected-striped4",
 ))
 
 _BEHAVIOR_KIND = {"silent": "revoke_silent", "lie": "revoke_lie",
@@ -264,6 +285,109 @@ def _crash_mission(component, seed):
     }
 
 
+def _corruption_mission(kind, topo, seed):
+    """One corruption-family mission: a silent-corruption storm on
+    coop-a's backing under the integrity plane.
+
+    Every cell gates the same three claims: zero corruptions delivered
+    unverified (end-to-end detection is total), every detection
+    accounted repaired-or-lost, and the bystander's bandwidth through
+    the storm (scrub, repairs and quarantines all charged to coop-a's
+    own streams). Rates follow the fault matrix's logic: a striped
+    volume sees a quarter of the victim's reads, so its rate is raised
+    until the rule provably fires.
+    """
+    suffix = kind.replace("_write", "").replace("_", "")
+    name = "corruption-%s-%s" % (suffix, topo)
+
+    def _reader(domain):
+        # Corruption fires on the *read* path; the write-loop shape's
+        # forgetful driver never pages in, so these cells run the
+        # Figure-7 read loop instead (populate, then endless reads).
+        # The stretch is halved so the two populate passes finish
+        # inside the settle phase, and the QoS period is shortened:
+        # demand faults are synchronous, so with the matrix's 250 ms
+        # period every page-in waits out most of a period on its
+        # volume and a striped read loop crawls at ~4 faults/s.
+        # The slice is widened so the bystander's bandwidth is mostly
+        # *guaranteed*, not slack — retention through the storm is
+        # then a contract claim, not a claim about leftovers. On the
+        # striped topology it stays at 30%: a drain re-homes a shard
+        # by admitting its full share on a healthy volume, so two
+        # 40% tenants would leave no volume able to take one and the
+        # escalation cell would strand its shards.
+        coop = _coop(domain, store)
+        coop.update(mode="read-loop", stretch_kb=256, driver_frames=24,
+                    guaranteed_frames=24, period_ms=50,
+                    slice_ms=20.0 if sfs else 15.0)
+        return coop
+
+    sfs = topo == "sfs"
+    store = "sfs" if sfs else "usbs"
+    scope = ("extent:%s" if sfs else "volume_of:%s") % "coop-a"
+    # ``misdirected`` is the escalation cell: its rate is hot enough
+    # that the victim's shard racks up ``detect_threshold`` losses and
+    # the volume is handed to the drain ladder.
+    rate = {"bit_flip": 0.08 if sfs else 0.25,
+            "torn_write": 0.1,
+            "misdirected_write": 0.8}[kind]
+    # The transient kind must demonstrably *repair* (a repair re-read
+    # re-draws at the later time and usually comes back clean — though
+    # a second flip can still declare a blok lost, so losses are not
+    # pinned to zero); the persistent kinds stick to the written
+    # version, so every detection ends lost and no repairs are owed.
+    min_repaired = 1 if kind == "bit_flip" else 0
+    escalates = kind == "misdirected_write"
+    phases = {"settle_sec": 3.0, "measure_sec": 3.0}
+    expect = [
+        {"check": "undetected_corruptions", "max": 0},
+        {"check": "repaired", "run": "storm", "min_detected": 1,
+         "min_repaired": min_repaired},
+        # The escalation cell's drain copies the bystander's shard off
+        # the degraded volume *through the bystander's own stream* —
+        # an accounted, bounded cost, so its floor is lower.
+        {"check": "scrub_overhead", "run": "storm",
+         "baseline": "baseline", "domains": ["coop-b"],
+         "floor": 0.8 if escalates else 0.9},
+        {"check": "progress", "run": "storm",
+         "domains": ["coop-b"]},
+    ]
+    if escalates:
+        phases["wait_drains"] = 1
+        phases["drain_limit_sec"] = 30.0
+        expect.append({"check": "drained", "run": "storm",
+                       "victim_of": "coop-a"})
+    return {
+        "schema": 1,
+        "mission": {
+            "name": name,
+            "family": "corruption",
+            "description": ("silent %s storm on %s via %s: detected "
+                            "end-to-end, repaired or declared, "
+                            "bystanders unharmed" % (kind, scope, store)),
+            "seed": seed,
+            "smoke": name in SMOKE,
+        },
+        "topology": _topology(topo),
+        "workload": {"domains": [_reader("coop-a"), _reader("coop-b")]},
+        "integrity": {"enabled": True, "scrub": True,
+                      "scrub_interval_ms": 10},
+        "phases": phases,
+        "runs": [
+            {"name": "baseline"},
+            # The escalation cell surfaces its corruption at measure
+            # time: a whole-run storm would kill the victim's thread
+            # mid-populate, leaving too few checksummed bloks for the
+            # scrub to rack up the escalation threshold.
+            {"name": "storm", "corruptions": [
+                {"kind": kind, "rate": rate, "scope": scope,
+                 "during": "measure" if escalates else "start"}]},
+        ],
+        "determinism": {"repeat": "storm"},
+        "expect": expect,
+    }
+
+
 def build_matrix():
     """All matrix missions, normalised, in generation order."""
     cells = [(hostile, storm, topo)
@@ -277,6 +401,9 @@ def build_matrix():
                 for index, (hostile, storm, topo) in enumerate(cells)]
     missions += [validate_mission(_crash_mission(component, 200 + index))
                  for index, component in enumerate(CRASH_CELLS)]
+    missions += [validate_mission(_corruption_mission(kind, topo,
+                                                      300 + index))
+                 for index, (kind, topo) in enumerate(CORRUPTION_CELLS)]
     return missions
 
 

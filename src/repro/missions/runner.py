@@ -37,7 +37,8 @@ from hashlib import blake2b
 from repro.apps.fsclient import FileSystemClient
 from repro.apps.pager_app import PagingApplication
 from repro.faults import (CrashInjector, behavior_plan_from_config,
-                          crash_plan_from_config, plan_from_config)
+                          corrupt_plan_from_config, crash_plan_from_config,
+                          plan_from_config)
 from repro.hw.mmu import AccessKind
 from repro.hw.platform import Machine
 from repro.kernel.threads import Touch, Wait
@@ -202,6 +203,38 @@ def _fault_rule_config(rule, extent=None, now=0):
     return config
 
 
+def _corruption_rule_config(rule, extent=None, now=0):
+    """Mission corruption rule -> corrupt_rule_from_config dict.
+
+    Same scoping/anchoring conventions as :func:`_fault_rule_config`;
+    corruption rules have no op/latency knobs (they only ever affect
+    what a read *returns*, never whether or when it completes).
+    """
+    config = {"kind": rule["kind"], "rate": rule["rate"]}
+    if extent is not None:
+        if rule["blocks"]:
+            config["blocks"] = tuple(extent.start + index
+                                     for index in range(rule["blocks"]))
+        else:
+            config["lba_start"] = extent.start
+            config["lba_end"] = extent.end
+    else:
+        if rule["lba_start"]:
+            config["lba_start"] = rule["lba_start"]
+        if rule["lba_end"] != -1:
+            config["lba_end"] = rule["lba_end"]
+    if rule["during"] == "measure":
+        config["start_ns"] = now
+        if rule["duration_sec"] != -1.0:
+            config["end_ns"] = now + int(rule["duration_sec"] * SEC)
+    else:
+        if rule["start_sec"]:
+            config["start_ns"] = int(rule["start_sec"] * SEC)
+        if rule["end_sec"] != -1.0:
+            config["end_ns"] = int(rule["end_sec"] * SEC)
+    return config
+
+
 def _behavior_rule_config(rule):
     """Mission behaviour rule -> behavior_rule_from_config dict."""
     config = {"kind": rule["kind"], "rate": rule["rate"]}
@@ -325,6 +358,12 @@ class MissionRunner:
             kwargs["volume_placement"] = topology["volume_placement"]
             kwargs["volume_seed"] = (topology["volume_seed"]
                                      or self.mission["mission"]["seed"])
+        integrity = self.mission["integrity"]
+        if integrity["enabled"]:
+            kwargs["integrity"] = True
+            kwargs["integrity_scrub"] = integrity["scrub"]
+            kwargs["scrub_interval"] = integrity["scrub_interval_ms"] * MS
+            kwargs["integrity_threshold"] = integrity["detect_threshold"]
         behaviors = self.mission["behaviors"]
         if behaviors:
             kwargs["behavior_plan"] = behavior_plan_from_config(
@@ -468,6 +507,55 @@ class MissionRunner:
                 injector = system.usbs.install_fault_plan(target[1], plan)
             installed[target] = (injector, indices)
 
+    def _install_corruptions(self, system, handles, rules, installed,
+                             fault_volumes):
+        """Like :meth:`_install_plans`, for the silent-corruption
+        plane: one :class:`~repro.faults.CorruptPlan` per resolved
+        disk, installed as that disk's ``corruptor`` (independent of
+        its loud fault plan). Volume scopes also register in
+        ``fault_volumes`` so the drain-family invariants can name the
+        storm volume."""
+        seed = self.mission["mission"]["seed"]
+        now = system.sim.now
+        grouped = {}    # target key -> ([configs], [mission indices])
+        for index, rule in rules:
+            target, extent = self._resolve_target(rule, system, handles)
+            if target != "disk" and extent is None:
+                # A volume-scoped corruption rule lands on the
+                # victim's own shard extent, not the whole volume: a
+                # volume is shared, and whole-volume draws would
+                # corrupt every tenant's shard — the bystander claims
+                # could never hold. (Loud faults stay whole-volume:
+                # they model the *device* failing, corruption models
+                # *data* rotting.)
+                victim = rule["scope"].partition(":")[2]
+                swap = handles[victim].driver.swap
+                for slot_index, slot in enumerate(swap.slots):
+                    if slot.volume.index == target[1]:
+                        extent = swap.extents[slot_index]
+                        break
+            configs, indices = grouped.setdefault(target, ([], []))
+            configs.append(_corruption_rule_config(rule, extent=extent,
+                                                   now=now))
+            indices.append(index)
+            if target != "disk":
+                volume = system.usbs.volumes[target[1]]
+                fault_volumes[rule["scope"]] = volume.name
+        for target in grouped:
+            if target in installed:
+                raise MissionRunError(
+                    "corruption rules for %r span both phases; one plan "
+                    "per disk (split the scopes or align 'during')"
+                    % (target,))
+        for target, (configs, indices) in grouped.items():
+            plan = corrupt_plan_from_config(seed, configs)
+            if target == "disk":
+                injector = system.install_corruption_plan(plan)
+            else:
+                injector = system.usbs.install_corruption_plan(target[1],
+                                                               plan)
+            installed[target] = (injector, indices)
+
     # -- supervision ----------------------------------------------------------
 
     def _supervised_components(self, system, run, handles, balancer):
@@ -568,11 +656,17 @@ class MissionRunner:
             supervisor, crash_injector, components, samples = \
                 self._start_supervision(system, run, handles, balancer)
         installed = {}      # target key -> (injector, mission indices)
+        corrupt_installed = {}   # ditto, for the corruption plane
         fault_volumes = {}  # scope string -> volume name
         start_rules, measure_rules = self._split_rules(run["faults"])
         if start_rules:
             self._install_plans(system, handles, start_rules, installed,
                                 fault_volumes)
+        corrupt_start, corrupt_measure = self._split_rules(
+            run["corruptions"])
+        if corrupt_start:
+            self._install_corruptions(system, handles, corrupt_start,
+                                      corrupt_installed, fault_volumes)
         # Scenario drivers (declared order; deterministic spawn order).
         results = {"claims": [], "transfers": []}
         min_alloc = {}
@@ -616,6 +710,9 @@ class MissionRunner:
         if measure_rules:
             self._install_plans(system, handles, measure_rules, installed,
                                 fault_volumes)
+        if corrupt_measure:
+            self._install_corruptions(system, handles, corrupt_measure,
+                                      corrupt_installed, fault_volumes)
         measured = self._measured(handles, components)
         start_bytes = {name: progress() for name, progress in measured}
         charged0 = {}
@@ -661,6 +758,19 @@ class MissionRunner:
                    and drain_wait_sec < phases["drain_limit_sec"]):
                 self._advance(system, 1 * SEC)
                 drain_wait_sec += 1.0
+        # Let in-flight repair re-reads settle before the integrity
+        # ledger is read: a detection at the very end of the window
+        # has spawned its repair but not resolved it, and the
+        # detected == repaired + lost identity should hold in the
+        # report. Bandwidth was already sampled above, so this burns
+        # only simulated time (bounded: repairs are one transaction).
+        quiesce_sec = 0.0
+        while (quiesce_sec < 1.0
+               and any(s.corruptions_detected > s.corruptions_repaired
+                       + s.corruptions_lost
+                       for s in system.integrity_swaps)):
+            self._advance(system, int(0.05 * SEC))
+            quiesce_sec += 0.05
         payload = self._collect(system, run, handles,
                                 self._pagers(handles), mbits,
                                 volume_shares, min_alloc, results,
@@ -669,16 +779,89 @@ class MissionRunner:
         if supervisor is not None:
             payload["supervision"] = supervisor.summary()
             payload["progress_samples"] = samples
-        fired = {"faults": set(), "behaviors": set()}
+        if mission["integrity"]["enabled"] or run["corruptions"]:
+            payload["integrity"] = self._integrity_payload(system)
+        fired = {"faults": set(), "behaviors": set(),
+                 "counts": {"faults": {}, "behaviors": {},
+                            "corruptions": {}, "crashes": {}}}
+        counts = fired["counts"]
         for injector, indices in installed.values():
             if injector is None:
                 continue
             fired["faults"].update(indices[i] for i in injector.observed)
+            for i, count in injector.observed.counts.items():
+                key = str(indices[i])
+                counts["faults"][key] = (counts["faults"].get(key, 0)
+                                         + count)
+        if run["corruptions"]:
+            fired["corruptions"] = set()
+            for injector, indices in corrupt_installed.values():
+                if injector is None:
+                    continue
+                fired["corruptions"].update(indices[i]
+                                            for i in injector.observed)
+                for i, count in injector.observed.counts.items():
+                    key = str(indices[i])
+                    counts["corruptions"][key] = (
+                        counts["corruptions"].get(key, 0) + count)
         if system.behavior_injector is not None:
-            fired["behaviors"].update(system.behavior_injector.observed)
+            observed = system.behavior_injector.observed
+            fired["behaviors"].update(observed)
+            counts["behaviors"] = {str(i): count
+                                   for i, count in observed.counts.items()}
         if crash_injector is not None:
             fired["crashes"] = set(crash_injector.observed)
+            counts["crashes"] = {
+                str(i): count
+                for i, count in crash_injector.observed.counts.items()}
         return payload, fired
+
+    def _integrity_payload(self, system):
+        """The integrity plane's evidence for one run.
+
+        ``undetected`` is the load-bearing number: corruptions the
+        disks injected minus corrupt payloads the wrappers intercepted
+        (detections + corrupt repair re-reads) — anything left reached
+        a consumer unverified. With integrity off it equals the
+        injected count: that is the measured cost of not checking.
+        """
+        backings = {}
+        caught = detected = repaired = lost = repair_reads = 0
+        for swap in system.integrity_swaps:
+            backings[swap.name] = {
+                "detected": swap.corruptions_detected,
+                "repaired": swap.corruptions_repaired,
+                "lost": swap.corruptions_lost,
+                "repair_reads": swap.repair_reads,
+                "quarantined": swap.quarantined_bloks(),
+            }
+            caught += swap.corruptions_caught
+            detected += swap.corruptions_detected
+            repaired += swap.corruptions_repaired
+            lost += swap.corruptions_lost
+            repair_reads += swap.repair_reads
+        injected = (system.corruption_injector.injected
+                    if system.corruption_injector is not None else 0)
+        if system.usbs is not None:
+            injected += sum(
+                system.usbs.corruption_exposure_by_volume().values())
+        scrub = {name: {"passes": scrubber.passes,
+                        "scanned": scrubber.scanned,
+                        "detected": scrubber.detected}
+                 for name, scrubber in sorted(system.scrubbers.items())}
+        escalated = (list(system._escalator.escalated)
+                     if system._escalator is not None else [])
+        return {
+            "backings": backings,
+            "detected": detected,
+            "repaired": repaired,
+            "lost": lost,
+            "repair_reads": repair_reads,
+            "injected": injected,
+            "undetected": max(0, injected - caught),
+            "scrub": scrub,
+            "escalated_volumes": escalated,
+        }
 
     def _domain_volumes(self, pagers):
         """{pager name: [volume names of its shards]} (USBS only)."""
@@ -895,6 +1078,39 @@ class MissionRunner:
                 "windows": [list(window) for window in merged],
                 "retention": {name: round(value, 4)
                               for name, value in retention.items()}})
+        if kind == "undetected_corruptions":
+            observed = {}
+            for name in targets:
+                integrity = payloads[name].get("integrity")
+                observed[name] = (integrity["undetected"]
+                                  if integrity else 0)
+            passed = all(value <= check["max"]
+                         for value in observed.values())
+            return verdict(passed, {"undetected": observed})
+        if kind == "repaired":
+            integrity = payloads[check["run"]]["integrity"]
+            detected = integrity["detected"]
+            repaired = integrity["repaired"]
+            lost = integrity["lost"]
+            passed = (detected >= check["min_detected"]
+                      and repaired >= check["min_repaired"]
+                      and detected == repaired + lost
+                      and (check["max_lost"] == -1
+                           or lost <= check["max_lost"]))
+            return verdict(passed, {"detected": detected,
+                                    "repaired": repaired, "lost": lost,
+                                    "accounted": detected
+                                    == repaired + lost})
+        if kind == "scrub_overhead":
+            base = payloads[check["baseline"]]["mbit"]
+            cur = payloads[check["run"]]["mbit"]
+            retention = {name: (cur[name] / base[name] if base[name]
+                                else 0.0) for name in check["domains"]}
+            passed = all(value >= check["floor"]
+                         for value in retention.values())
+            return verdict(passed, {"retention": {
+                name: round(value, 4)
+                for name, value in retention.items()}})
         # The USBS containment family: all need the run's storm volume.
         payload = payloads[check["run"]]
         volumes = payload["volumes"]
@@ -932,8 +1148,11 @@ class MissionRunner:
 
     def _audit(self, fired_by_run):
         """Every must_fire rule observed firing, or the mission is
-        vacuous. Fault rules must fire in the run declaring them;
-        behaviour rules (installed on every run) must fire in each."""
+        vacuous. Fault/corruption rules must fire in the run declaring
+        them; behaviour rules (installed on every run) must fire in
+        each. ``counts`` carries per-rule fire counts for all four
+        planes (string-keyed by mission rule index, for canonical
+        JSON) — the sweep aggregates them across the corpus."""
         mission = self.mission
         vacuous = []
         fired_out = {}
@@ -942,7 +1161,11 @@ class MissionRunner:
             fired_out[run["name"]] = {
                 "faults": sorted(fired["faults"]),
                 "behaviors": sorted(fired["behaviors"]),
+                "counts": fired["counts"],
             }
+            if "corruptions" in fired:
+                fired_out[run["name"]]["corruptions"] = sorted(
+                    fired["corruptions"])
             if "crashes" in fired:
                 fired_out[run["name"]]["crashes"] = sorted(
                     fired["crashes"])
@@ -950,6 +1173,13 @@ class MissionRunner:
                 if rule["must_fire"] and index not in fired["faults"]:
                     vacuous.append(
                         "%s: faults[%d] (%s on %s) never fired"
+                        % (run["name"], index, rule["kind"],
+                           rule["scope"]))
+            for index, rule in enumerate(run["corruptions"]):
+                if rule["must_fire"] \
+                        and index not in fired.get("corruptions", ()):
+                    vacuous.append(
+                        "%s: corruptions[%d] (%s on %s) never fired"
                         % (run["name"], index, rule["kind"],
                            rule["scope"]))
             for index, rule in enumerate(mission["behaviors"]):

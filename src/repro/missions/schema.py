@@ -31,7 +31,7 @@ from typing import Optional, Tuple
 MISSION_SCHEMA_VERSION = 1
 
 #: Bump on incompatible changes to the runner's report layout.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -72,7 +72,7 @@ MISSION_FIELDS = (
     _f("name", "str"),
     _f("family", "str",
        choices=("chaos", "pressure", "scale", "matrix",
-                "crash-recovery")),
+                "crash-recovery", "corruption")),
     _f("description", "str", default=""),
     _f("seed", "int", min=0),
     _f("smoke", "bool", default=False),
@@ -135,6 +135,21 @@ SUPERVISION_FIELDS = (
     _f("max_restarts", "int", default=2, min=0),
     _f("window_s", "float", default=5.0, min=0.001),
     _f("sample_ms", "int", default=50, min=1),
+)
+
+#: ``[integrity]`` — the optional integrity plane. When enabled, every
+#: paged/stream swap backing goes behind an end-to-end checksumming
+#: wrapper (verify on swap-in, quarantine/repair/declare-lost on
+#: mismatch) and, with ``scrub``, a per-backing background scrubber
+#: walking bloks every ``scrub_interval_ms`` through the owner's own
+#: streams; ``detect_threshold`` unrepairable losses served by one
+#: USBS volume hand it to the drain ladder. The report gains an
+#: ``integrity`` payload per run.
+INTEGRITY_FIELDS = (
+    _f("enabled", "bool", default=False),
+    _f("scrub", "bool", default=True),
+    _f("scrub_interval_ms", "int", default=20, min=1),
+    _f("detect_threshold", "int", default=4, min=1),
 )
 
 # -- workload domains --------------------------------------------------------
@@ -243,6 +258,29 @@ CRASH_FIELDS = (
     _f("must_fire", "bool", default=True),
 )
 
+#: ``[[runs.corruptions]]`` — one silent-corruption rule, the fourth
+#: fault plane. Affected reads complete with status *ok* and wrong
+#: data, so only the ``[integrity]`` plane's end-to-end checksums can
+#: see them. ``scope``/``during`` work exactly as for
+#: ``[[runs.faults]]``; ``kind`` selects the corruption model:
+#: ``bit_flip`` re-draws per read instant (transient — a repair
+#: re-read usually heals it), ``torn_write``/``misdirected_write``
+#: draw per written version (persistent until rewritten).
+CORRUPTION_FIELDS = (
+    _f("kind", "str",
+       choices=("bit_flip", "torn_write", "misdirected_write")),
+    _f("rate", "float", default=1.0, min=0.0, max=1.0),
+    _f("scope", "str", default="disk"),
+    _f("during", "str", default="start", choices=("start", "measure")),
+    _f("start_sec", "float", default=0.0, min=0.0),
+    _f("end_sec", "float", default=-1.0, min=-1.0),
+    _f("duration_sec", "float", default=-1.0, min=-1.0),
+    _f("lba_start", "int", default=0, min=0),
+    _f("lba_end", "int", default=-1, min=-1),
+    _f("blocks", "int", default=0, min=0),
+    _f("must_fire", "bool", default=True),
+)
+
 #: ``[[behaviors]]`` — one hostile-domain rule, installed on every
 #: run (hostility is part of the workload, not the storm).
 BEHAVIOR_FIELDS = (
@@ -347,9 +385,35 @@ EXPECT_KINDS = {
         _f("components", "str_list", default=()),
         _f("floor", "float", min=0.0, max=10.0),
     ),
+    # The integrity family: ``undetected_corruptions`` — at most
+    # ``max`` injected corruptions were delivered unverified across the
+    # named runs (all, if empty); ``repaired`` — the run detected at
+    # least ``min_detected`` corruptions, repaired at least
+    # ``min_repaired`` and declared at most
+    # ``max_lost`` lost (``-1``: any), with every detection accounted
+    # repaired-or-lost; ``scrub_overhead`` — each named domain in the
+    # scrubbed/corrupted run kept at least ``floor`` of its bandwidth
+    # in the clean ``baseline`` run (scrub I/O charged to the owner,
+    # never to bystanders).
+    "undetected_corruptions": (
+        _f("runs", "str_list", default=()),
+        _f("max", "int", default=0, min=0),
+    ),
+    "repaired": (
+        _f("run", "str"),
+        _f("min_detected", "int", default=1, min=0),
+        _f("min_repaired", "int", default=0, min=0),
+        _f("max_lost", "int", default=-1, min=-1),
+    ),
+    "scrub_overhead": (
+        _f("run", "str"),
+        _f("baseline", "str"),
+        _f("domains", "str_list"),
+        _f("floor", "float", min=0.0, max=10.0),
+    ),
 }
 
 #: Top-level sections in canonical serialisation order.
 SECTION_ORDER = ("mission", "topology", "workload", "drivers",
-                 "behaviors", "supervision", "phases", "runs",
-                 "determinism", "expect")
+                 "behaviors", "supervision", "integrity", "phases",
+                 "runs", "determinism", "expect")

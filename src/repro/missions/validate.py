@@ -197,6 +197,8 @@ class MissionValidator:
         behaviors = self._behaviors(raw.get("behaviors"), domains)
         supervision = _section(raw.get("supervision"),
                                schema.SUPERVISION_FIELDS, "supervision")
+        integrity = _section(raw.get("integrity"),
+                             schema.INTEGRITY_FIELDS, "integrity")
         phases = _section(raw.get("phases"), schema.PHASES_FIELDS, "phases")
         runs = self._runs(raw.get("runs"), topology, domains, phases,
                           supervision)
@@ -208,7 +210,7 @@ class MissionValidator:
                                "names no run (runs: %s)"
                                % ", ".join(run_names))
         expect = self._expect(raw.get("expect"), domains, drivers, runs,
-                              supervision)
+                              supervision, integrity)
         if phases["populate"] and not any(
                 d["kind"] == "pager" for d in domains):
             raise MissionError("phases.populate",
@@ -221,6 +223,7 @@ class MissionValidator:
             "drivers": drivers,
             "behaviors": behaviors,
             "supervision": supervision,
+            "integrity": integrity,
             "phases": phases,
             "runs": runs,
             "determinism": determinism,
@@ -332,11 +335,11 @@ class MissionValidator:
                                    % (entry,))
             for key in entry:
                 if key not in ("name", "deadline_s", "topology", "faults",
-                               "crashes"):
+                               "corruptions", "crashes"):
                     raise MissionError("%s.%s" % (path, key),
                                        "unknown field (known: name, "
                                        "deadline_s, topology, faults, "
-                                       "crashes)")
+                                       "corruptions, crashes)")
             name = entry.get("name")
             if not isinstance(name, str) or not name or len(name) > 64 \
                     or any(c in name for c in "\n\r\t "):
@@ -364,11 +367,13 @@ class MissionValidator:
             else:
                 deadline = _default(deadline_field)
             faults = self._faults(entry.get("faults"), path, pagers, merged)
+            corruptions = self._corruptions(entry.get("corruptions"), path,
+                                            pagers, merged)
             crashes = self._crashes(entry.get("crashes"), path, pagers,
                                     merged, supervision)
             runs.append({"name": name, "deadline_s": deadline,
                          "topology": merged, "faults": faults,
-                         "crashes": crashes})
+                         "corruptions": corruptions, "crashes": crashes})
         if phases["wait_drains"] and all(
                 run["topology"]["volumes"] < 2 for run in runs):
             raise MissionError("phases.wait_drains",
@@ -458,6 +463,84 @@ class MissionValidator:
             rules.append(rule)
         return rules
 
+    def _corruptions(self, raw, run_path, pagers, topology):
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("%s.corruptions" % run_path,
+                               "expected an array of tables")
+        rules = []
+        during_by_target = {}
+        for index, entry in enumerate(raw):
+            path = "%s.corruptions[%d]" % (run_path, index)
+            rule = _section(entry, schema.CORRUPTION_FIELDS, path)
+            scope = rule["scope"]
+            if scope == "disk":
+                target = "disk"
+            elif scope.startswith("extent:") or scope.startswith(
+                    "volume_of:"):
+                prefix, _, victim = scope.partition(":")
+                if victim not in pagers:
+                    raise MissionError("%s.scope" % path,
+                                       "names no pager domain: %r" % victim)
+                store = pagers[victim]["store"]
+                if prefix == "extent" and store != "sfs":
+                    raise MissionError("%s.scope" % path,
+                                       "extent scope needs %r on the "
+                                       "single-disk store (store='sfs')"
+                                       % victim)
+                if prefix == "volume_of":
+                    if store != "usbs":
+                        raise MissionError("%s.scope" % path,
+                                           "volume_of scope needs %r on "
+                                           "store='usbs'" % victim)
+                    if topology["volumes"] < 1:
+                        raise MissionError("%s.scope" % path,
+                                           "volume_of scope needs volumes "
+                                           ">= 1 in this run")
+                target = "disk" if prefix == "extent" else scope
+            else:
+                raise MissionError("%s.scope" % path,
+                                   "must be 'disk', 'extent:<domain>' or "
+                                   "'volume_of:<domain>', got %r" % scope)
+            if rule["blocks"] and not scope.startswith("extent:"):
+                raise MissionError("%s.blocks" % path,
+                                   "blocks count needs an extent scope")
+            if rule["during"] == "measure":
+                if rule["start_sec"] != 0.0 or rule["end_sec"] != -1.0:
+                    raise MissionError("%s.during" % path,
+                                       "during='measure' computes its own "
+                                       "window; leave start_sec/end_sec "
+                                       "unset")
+                if rule["duration_sec"] != -1.0 \
+                        and rule["duration_sec"] <= 0.0:
+                    raise MissionError("%s.duration_sec" % path,
+                                       "must be > 0 (or -1 for 'to end of "
+                                       "run')")
+            else:
+                if rule["duration_sec"] != -1.0:
+                    raise MissionError("%s.duration_sec" % path,
+                                       "only valid with during='measure'")
+                if rule["end_sec"] != -1.0 \
+                        and rule["end_sec"] <= rule["start_sec"]:
+                    raise MissionError("%s.end_sec" % path,
+                                       "must be after start_sec (or -1)")
+            if rule["lba_end"] != -1 and rule["lba_end"] <= rule["lba_start"]:
+                raise MissionError("%s.lba_end" % path,
+                                   "must be after lba_start (or -1)")
+            if scope != "disk" and (rule["lba_start"] or rule["lba_end"]
+                                    != -1):
+                raise MissionError("%s.lba_start" % path,
+                                   "explicit LBA bounds are only for "
+                                   "scope='disk'")
+            earlier = during_by_target.setdefault(target, rule["during"])
+            if earlier != rule["during"]:
+                raise MissionError("%s.during" % path,
+                                   "all rules on the same disk must share "
+                                   "one 'during' (one plan per disk)")
+            rules.append(rule)
+        return rules
+
     def _component_ref(self, path, component, pagers, topology):
         """One supervised-component reference (crash rules, expects)."""
         if component in ("", "usd"):
@@ -507,7 +590,7 @@ class MissionValidator:
             rules.append(rule)
         return rules
 
-    def _expect(self, raw, domains, drivers, runs, supervision):
+    def _expect(self, raw, domains, drivers, runs, supervision, integrity):
         if raw is None:
             return []
         if not isinstance(raw, list):
@@ -617,6 +700,28 @@ class MissionValidator:
                 for ref in check["components"]:
                     self._component_ref("%s.components" % path, ref,
                                         pagers, run["topology"])
+            elif kind == "undetected_corruptions":
+                for ref in check["runs"]:
+                    _run_ref("runs", ref)
+            elif kind == "repaired":
+                if not integrity["enabled"]:
+                    raise MissionError("%s.check" % path,
+                                       "repaired needs integrity.enabled = "
+                                       "true (nothing would detect)")
+                run = _run_ref("run", check["run"])
+                if not run["corruptions"]:
+                    raise MissionError("%s.run" % path,
+                                       "repaired needs a run with "
+                                       "corruption rules")
+            elif kind == "scrub_overhead":
+                if not (integrity["enabled"] and integrity["scrub"]):
+                    raise MissionError("%s.check" % path,
+                                       "scrub_overhead needs "
+                                       "integrity.enabled and "
+                                       "integrity.scrub")
+                _run_ref("run", check["run"])
+                _run_ref("baseline", check["baseline"])
+                _domain_refs("domains", check["domains"], _MEASURED_KINDS)
             else:  # exposure_contained / drained / losses_contained
                 run = _run_ref("run", check["run"])
                 _domain_refs("victim_of", [check["victim_of"]], ("pager",))
@@ -741,6 +846,9 @@ def serialize_mission(mission):
     lines.append("[supervision]")
     _emit_pairs(lines, mission["supervision"])
     lines.append("")
+    lines.append("[integrity]")
+    _emit_pairs(lines, mission["integrity"])
+    lines.append("")
     lines.append("[phases]")
     _emit_pairs(lines, mission["phases"])
     lines.append("")
@@ -754,6 +862,10 @@ def serialize_mission(mission):
         lines.append("")
         for rule in run["faults"]:
             lines.append("[[runs.faults]]")
+            _emit_pairs(lines, rule)
+            lines.append("")
+        for rule in run["corruptions"]:
+            lines.append("[[runs.corruptions]]")
             _emit_pairs(lines, rule)
             lines.append("")
         for rule in run["crashes"]:

@@ -27,6 +27,7 @@ writes.
 """
 
 from repro.hw.disk import READ, WRITE
+from repro.integrity.swap import CorruptDataError
 from repro.kernel.threads import Compute, Wait
 from repro.mm.sdriver import FaultOutcome, FaultTimeout, StretchDriver
 from repro.usd.usd import BlokLostError, TransactionFailed
@@ -147,13 +148,14 @@ class PagedDriver(StretchDriver):
             try:
                 yield Wait(self._swap_slot(blok, READ))
                 yield Wait(self.swap.read(blok))
-            except (TransactionFailed, BlokLostError):
+            except (TransactionFailed, BlokLostError, CorruptDataError):
                 # Persistent read failure: the only copy of this page
                 # sat on a bad block (or on a volume that failed before
-                # the drain reached it). Contain the loss — retire the
-                # blok, mark just this page unrecoverable, give the
-                # frame back — and fail the fault (the MMEntry kills
-                # only the faulting thread).
+                # the drain reached it, or its payload failed
+                # verification beyond repair). Contain the loss —
+                # retire the blok, mark just this page unrecoverable,
+                # give the frame back — and fail the fault (the MMEntry
+                # kills only the faulting thread).
                 self.note_io_failure()
                 self._retire_blok(vpn)
                 self.unrecoverable.add(vpn)

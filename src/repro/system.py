@@ -111,15 +111,17 @@ class App:
         selecting striped/pinned (None: the manager's default).
         """
         if store in (None, "sfs"):
-            return self.system.sfs.create_swapfile(name, swap_bytes, qos,
+            swap = self.system.sfs.create_swapfile(name, swap_bytes, qos,
                                                    depth=depth)
-        if store == "usbs":
+        elif store == "usbs":
             if self.system.usbs is None:
                 raise ValueError(
                     "store='usbs' needs NemesisSystem(volumes=N >= 1)")
-            return self.system.usbs.create_backing(
+            swap = self.system.usbs.create_backing(
                 name, swap_bytes, qos, placement=placement, depth=depth)
-        raise ValueError("store must be None, 'sfs' or 'usbs'")
+        else:
+            raise ValueError("store must be None, 'sfs' or 'usbs'")
+        return self.system._wrap_swap(swap)
 
     def paged_driver(self, frames, swap_bytes, qos, forgetful=False,
                      name=None, depth=2, policy="fifo", store=None,
@@ -232,10 +234,16 @@ class App:
                     # The domain is dead: nobody will collect queued
                     # completions, so discard them (their events fail).
                     service.depart(client, discard=True)
-            if system.usbs is not None and swap in system.usbs.backings:
+            # An integrity wrapper proxies the real backing; identity
+            # checks (and the scrubber registry) go by the inner object.
+            inner = getattr(swap, "inner", swap)
+            scrubber = system.scrubbers.pop(inner.name, None)
+            if scrubber is not None:
+                scrubber.stop()
+            if system.usbs is not None and inner in system.usbs.backings:
                 # A dead app's backing must not take part in future
                 # volume drains (its streams are gone).
-                system.usbs.backings.remove(swap)
+                system.usbs.backings.remove(inner)
         if self in system.apps:
             system.apps.remove(self)
 
@@ -251,10 +259,12 @@ class NemesisSystem:
                  max_revocation_rounds=3,
                  swap_partition=(262144, 2_097_152),
                  fs_partition=(3_500_000, 786_432), metrics=True,
-                 fault_plan=None, behavior_plan=None,
+                 fault_plan=None, behavior_plan=None, corrupt_plan=None,
                  fault_timeout=30 * SEC, volumes=0,
                  volume_placement="striped", volume_seed=1999,
-                 volume_geometry=None, volume_monitor=True):
+                 volume_geometry=None, volume_monitor=True,
+                 integrity=False, integrity_scrub=True,
+                 scrub_interval=20 * MS, integrity_threshold=4):
         # Observability first: every subsystem below takes the registry.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.sim = Simulator(metrics=self.metrics)
@@ -275,9 +285,22 @@ class NemesisSystem:
         # domain (None = disabled).
         self.fault_injector = None
         self.behavior_injector = None
+        self.corruption_injector = None
         self.fault_timeout = fault_timeout
         if fault_plan is not None:
             self.install_fault_plan(fault_plan)
+        if corrupt_plan is not None:
+            self.install_corruption_plan(corrupt_plan)
+        # The integrity plane: when enabled, every paged/stream swap
+        # backing is wrapped in a verifying ChecksummedSwap, each with
+        # a background scrubber on the owner's own streams.
+        self.integrity_enabled = bool(integrity)
+        self.integrity_scrub = bool(integrity_scrub)
+        self.scrub_interval = scrub_interval
+        self.integrity_threshold = integrity_threshold
+        self.scrubbers = {}         # backing name -> Scrubber
+        self.integrity_swaps = []   # every ChecksummedSwap built
+        self._escalator = None
         # Kernel + CPU.
         if cpu not in _CPUS:
             raise ValueError("cpu must be one of %s" % list(_CPUS))
@@ -357,6 +380,57 @@ class NemesisSystem:
             self.fault_injector = FaultInjector(plan, metrics=self.metrics)
         self.disk.injector = self.fault_injector
         return self.fault_injector
+
+    def install_corruption_plan(self, plan):
+        """Attach a :class:`~repro.faults.CorruptPlan` to the disk.
+
+        Corruption is *silent*: affected reads complete with STATUS_OK
+        and wrong data, invisible to retries and watchdogs — only the
+        integrity plane's end-to-end checksums can tell. ``None`` heals
+        the disk.
+        """
+        from repro.faults import CorruptionInjector
+
+        if plan is None:
+            self.corruption_injector = None
+        else:
+            self.corruption_injector = CorruptionInjector(
+                plan, metrics=self.metrics)
+        self.disk.corruptor = self.corruption_injector
+        return self.corruption_injector
+
+    def _wrap_swap(self, swap):
+        """Wrap a freshly created swap backing in the integrity plane.
+
+        No-op unless the system was built with ``integrity=True``.
+        Otherwise the backing goes behind a
+        :class:`~repro.integrity.swap.ChecksummedSwap` (verify on every
+        swap-in, quarantine/repair on mismatch, escalate multi-volume
+        unrepairable losses to the PR-5 drain ladder) and, when
+        scrubbing is on,
+        gets a background :class:`~repro.integrity.scrub.Scrubber`
+        walking its bloks through the owner's own streams.
+        """
+        if not self.integrity_enabled:
+            return swap
+        from repro.integrity import ChecksummedSwap, Scrubber, VolumeEscalator
+
+        on_lost = None
+        if self.usbs is not None:
+            if self._escalator is None:
+                self._escalator = VolumeEscalator(
+                    self.usbs, threshold=self.integrity_threshold)
+            on_lost = self._escalator
+        wrapped = ChecksummedSwap(self.sim, swap, metrics=self.metrics,
+                                  on_lost=on_lost)
+        self.integrity_swaps.append(wrapped)
+        if self.integrity_scrub:
+            scrubber = Scrubber(self.sim, wrapped,
+                                interval_ns=self.scrub_interval,
+                                spans=self.spans)
+            scrubber.start()
+            self.scrubbers[swap.name] = scrubber
+        return wrapped
 
     def install_behavior_plan(self, plan):
         """Attach a :class:`~repro.faults.BehaviorPlan`: hostile-domain

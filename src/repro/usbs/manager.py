@@ -181,6 +181,14 @@ class VolumeManager:
         return self.volumes[index].install_fault_plan(plan,
                                                       metrics=self.metrics)
 
+    def install_corruption_plan(self, index, plan):
+        """Attach a disk-scoped corruption plan to one volume (None
+        heals). Silent corruption never trips the exposure-based
+        health monitor — only the integrity plane's detections can
+        escalate a silently-failing volume into :meth:`degrade`."""
+        return self.volumes[index].install_corruption_plan(
+            plan, metrics=self.metrics)
+
     # -- health monitoring ---------------------------------------------------
 
     def _monitor_loop(self):
@@ -327,8 +335,9 @@ class VolumeManager:
                     continue
                 while not old_shard.channel.can_submit:
                     yield old_shard.channel.slot()
+                read = old_shard.read(local)
                 try:
-                    yield old_shard.read(local)
+                    yield read
                 except (TransactionFailed, BlokLostError):
                     swap.mark_lost(index, local)
                     self._c_lost.inc(volume=failing.name)
@@ -336,6 +345,18 @@ class VolumeManager:
                     continue
                 if swap.is_migrated(index, local):
                     continue   # rewritten while our read was in flight
+                # A silently-corrupt payload must not migrate: the
+                # owner's integrity wrapper (when present) checks the
+                # rescued blok against its digest, and a mismatch is
+                # declared lost here — the failing volume holds the
+                # only copy, so there is nothing to repair from.
+                verifier = getattr(swap, "verifier", None)
+                if verifier is not None and not verifier.drain_check(
+                        swap.global_blok(index, local), read._value):
+                    swap.mark_lost(index, local)
+                    self._c_lost.inc(volume=failing.name)
+                    stats["lost"] += 1
+                    continue
                 new_shard = swap.slots[index].shard
                 while not new_shard.channel.can_submit:
                     yield new_shard.channel.slot()
@@ -358,6 +379,12 @@ class VolumeManager:
     def fault_exposure_by_volume(self):
         """{volume name: faults injected} — the containment evidence."""
         return {volume.name: volume.fault_exposure()
+                for volume in self.volumes}
+
+    def corruption_exposure_by_volume(self):
+        """{volume name: silent corruptions injected} — the integrity
+        plane's containment evidence."""
+        return {volume.name: volume.corruption_exposure()
                 for volume in self.volumes}
 
     def __repr__(self):

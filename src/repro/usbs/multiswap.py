@@ -156,6 +156,13 @@ class MultiVolumeSwap:
         nslots = len(self.slots)
         return blok % nslots, blok // nslots
 
+    def global_blok(self, index, local):
+        """(slot index, shard-local blok) -> global blok: the inverse
+        of :meth:`_locate`, for callers that work shard-locally (the
+        drain) but must name bloks in the owner's space (the
+        integrity verifier)."""
+        return local * len(self.slots) + index
+
     def volume_of(self, blok, kind=READ):
         """The volume a ``kind`` access to ``blok`` would reach now."""
         index, local = self._locate(blok)

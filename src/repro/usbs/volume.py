@@ -113,6 +113,30 @@ class Volume:
         injector = self.disk.injector
         return injector.injected if injector is not None else 0
 
+    def install_corruption_plan(self, plan, metrics=None):
+        """Attach a disk-scoped :class:`~repro.faults.CorruptPlan`.
+
+        Same per-volume scoping as :meth:`install_fault_plan`: silent
+        corruption on one spindle cannot touch another's transactions.
+        ``None`` heals the disk. Returns the injector (or ``None``).
+        """
+        from repro.faults import CorruptionInjector
+
+        if plan is None:
+            self.disk.corruptor = None
+        else:
+            self.disk.corruptor = CorruptionInjector(
+                plan, metrics=metrics if metrics is not None else self.metrics)
+        return self.disk.corruptor
+
+    def corruption_exposure(self):
+        """Silent corruptions injected into this volume's reads so far
+        — escalation evidence, parallel to :meth:`fault_exposure` (but
+        invisible to the health monitor: silence is the point; only
+        the integrity plane's detections can surface it)."""
+        corruptor = self.disk.corruptor
+        return corruptor.injected if corruptor is not None else 0
+
     # -- capacity ----------------------------------------------------------
 
     @property

@@ -9,6 +9,7 @@ the aggregate's canonical layout.
 
 import json
 import os
+import time
 
 import pytest
 
@@ -21,6 +22,20 @@ def _crashing_worker(path):
     """A worker body that hard-kills its own process for one mission
     (simulating a segfault/OOM kill) and runs the rest normally."""
     if "tiny-doomed" in path:
+        os._exit(17)
+    return sweep._worker(path)
+
+
+def _wedging_worker(path):
+    """A worker body that crashes its pool on the first attempt and
+    then wedges below any Python-level guard on the lone retry — the
+    exact failure the bounded retry leg exists to contain."""
+    if "tiny-wedged" in path:
+        marker = path + ".crashed-once"
+        if os.path.exists(marker):
+            time.sleep(5)   # a stuck syscall, as far as the parent knows
+            os._exit(0)
+        open(marker, "w").close()
         os._exit(17)
     return sweep._worker(path)
 
@@ -81,7 +96,7 @@ class TestSweep:
         assert aggregate["passed"] is True
         assert aggregate["counts"] == {
             "total": 2, "passed": 2, "failed": 0, "vacuous": 0,
-            "crashed": 0}
+            "crashed": 0, "hung": 0}
         names = [row["name"] for row in aggregate["missions"]]
         assert names == sorted(names) == ["tiny-full", "tiny-smoke"]
         for name in names:
@@ -163,7 +178,7 @@ class TestWorkerCrash:
         assert aggregate["passed"] is False
         assert aggregate["counts"] == {
             "total": 3, "passed": 2, "failed": 1, "vacuous": 0,
-            "crashed": 1}
+            "crashed": 1, "hung": 0}
         rows = {row["name"]: row for row in aggregate["missions"]}
         assert rows["tiny-doomed"]["passed"] is False
         assert rows["tiny-doomed"]["error"] == "worker_crashed"
@@ -191,3 +206,64 @@ class TestWorkerCrash:
         text = sweep.format_aggregate(aggregate)
         assert "worker_crashed" in text
         assert "2/3 passed" in text
+
+
+class TestHungRetry:
+    """A retry wedged below the runner's own hang guard is abandoned
+    on the mission's wall-clock budget and charged a canonical FAIL."""
+
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        """Three missions: two healthy, one that crashes then wedges."""
+        directory = tmp_path / "missions"
+        directory.mkdir()
+        for name, seed in (("tiny-a", 3), ("tiny-wedged", 5),
+                           ("tiny-z", 7)):
+            mission = tiny_mission(name=name, seed=seed)
+            (directory / ("%s.toml" % name)).write_text(
+                serialize_mission(mission), encoding="utf-8")
+        return directory
+
+    def test_budget_sums_run_deadlines_plus_repeat(self, tmp_path):
+        """The retry budget is the mission's own declared wall-clock:
+        every run's deadline_s, the determinism repeat charged twice,
+        plus fixed slack."""
+        mission = tiny_mission(name="tiny-budget")
+        for run in mission["runs"]:
+            run["deadline_s"] = 40.0
+        path = tmp_path / "tiny-budget.toml"
+        path.write_text(serialize_mission(mission), encoding="utf-8")
+        # Two runs at 40 s + the repeated storm leg + slack.
+        assert sweep._retry_budget(str(path)) == \
+            3 * 40.0 + sweep.RETRY_SLACK_SEC
+
+    def test_wedged_retry_is_abandoned_and_charged_hung(
+            self, corpus, tmp_path):
+        """The sweep returns (bounded by the injected tiny budget)
+        with the wedged mission charged FAIL/hung; bystanders pass."""
+        paths = sweep.discover([str(corpus)])
+        out = tmp_path / "results"
+        started = time.monotonic()
+        aggregate = sweep.sweep(paths, jobs=2, out_dir=str(out),
+                                worker=_wedging_worker,
+                                budget=lambda path: 0.5)
+        assert time.monotonic() - started < 30.0   # it came back
+        assert aggregate["passed"] is False
+        assert aggregate["counts"] == {
+            "total": 3, "passed": 2, "failed": 1, "vacuous": 0,
+            "crashed": 0, "hung": 1}
+        rows = {row["name"]: row for row in aggregate["missions"]}
+        assert rows["tiny-wedged"]["error"] == "hung"
+        assert rows["tiny-wedged"]["passed"] is False
+        for name in ("tiny-a", "tiny-z"):
+            assert rows[name]["passed"] is True
+        # The hung mission still got a canonical FAIL report on disk.
+        with open(out / "missions" / "tiny-wedged.json",
+                  encoding="utf-8") as fh:
+            report = json.load(fh)
+        assert report["passed"] is False
+        assert report["error"]["reason"] == "hung"
+        assert report["runs"] == {}
+        assert report["audit"]["passed"] is False
+        text = sweep.format_aggregate(aggregate)
+        assert "hung" in text and "2/3 passed" in text

@@ -1,0 +1,162 @@
+"""The silent-corruption fault plane: deterministic draws, kind
+semantics, and scope isolation.
+
+Corruption is the failure class the loud planes cannot see: a read
+that succeeds with the wrong bytes. These tests pin the plane's
+contract — ``bit_flip`` re-draws per read occasion while torn and
+misdirected writes stick to the written version, draws are pure
+functions of the seed, the first firing rule wins while the audit
+still observes the rest — and the property the whole integrity
+argument leans on: a plan scoped to one extent NEVER touches a read
+outside it, for any seed, rate and corruption kind.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.corrupt import (BIT_FLIP, CORRUPT_KINDS,
+                                  MISDIRECTED_WRITE, TORN_WRITE,
+                                  CorruptionInjector, CorruptPlan,
+                                  CorruptRule, corrupt_plan_from_config,
+                                  extent_corruption)
+from repro.hw.disk import READ, DiskRequest
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.units import MS
+from repro.usd.sfs import Extent
+
+
+def _req(lba, nblocks=8, client="victim"):
+    return DiskRequest(kind=READ, lba=lba, nblocks=nblocks, client=client)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ValueError):
+            CorruptRule(kind="gamma_ray")
+
+    def test_rate_out_of_range_refused(self):
+        for rate in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                CorruptRule(kind=BIT_FLIP, rate=rate)
+
+    def test_bad_time_window_refused(self):
+        with pytest.raises(ValueError):
+            CorruptRule(kind=BIT_FLIP, start_ns=5, end_ns=5)
+
+    def test_config_round_trip_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            corrupt_plan_from_config(7, [{"kind": BIT_FLIP, "burst": 3}])
+
+
+class TestKindSemantics:
+    def test_bit_flip_redraws_per_read_time(self):
+        """The same blok read at different times draws independently:
+        at rate 0.5 a transient flip cannot be a permanent property of
+        the blok — some occasions corrupt, some do not."""
+        plan = CorruptPlan(seed=3, rules=(
+            CorruptRule(kind=BIT_FLIP, rate=0.5),))
+        outcomes = {plan.decide_read(_req(100), now) is not None
+                    for now in range(0, 200 * MS, MS)}
+        assert outcomes == {True, False}
+
+    def test_torn_write_sticks_to_the_written_version(self):
+        """Torn/misdirected corruption is keyed per (LBA, generation):
+        every read of one version agrees, and only a rewrite
+        re-draws."""
+        plan = CorruptPlan(seed=3, rules=(
+            CorruptRule(kind=TORN_WRITE, rate=0.5),))
+        for generation in range(8):
+            decisions = {plan.decide_read(_req(100), now,
+                                          generation=generation) is not None
+                         for now in range(0, 10 * MS, MS)}
+            assert len(decisions) == 1   # constant across read times
+        by_generation = {g: plan.decide_read(_req(100), 0,
+                                             generation=g) is not None
+                         for g in range(64)}
+        assert set(by_generation.values()) == {True, False}
+
+    def test_draws_are_pure_functions_of_the_seed(self):
+        for kind in CORRUPT_KINDS:
+            plan = CorruptPlan(seed=11, rules=(
+                CorruptRule(kind=kind, rate=0.3),))
+            a = [plan.decide_read(_req(lba), 5 * MS, generation=2)
+                 for lba in range(0, 1024, 8)]
+            b = [plan.decide_read(_req(lba), 5 * MS, generation=2)
+                 for lba in range(0, 1024, 8)]
+            assert a == b
+
+    def test_explicit_blocks_corrupt_unconditionally(self):
+        plan = CorruptPlan(seed=1, rules=(
+            CorruptRule(kind=MISDIRECTED_WRITE, rate=0.0,
+                        blocks=(104,)),))
+        hit = plan.decide_read(_req(100), 0)
+        assert hit is not None and hit.kind == MISDIRECTED_WRITE
+        assert plan.decide_read(_req(200), 0) is None
+
+    def test_first_firing_rule_wins_but_audit_sees_all(self):
+        from repro.faults.plan import FireRecorder
+        plan = CorruptPlan(seed=1, rules=(
+            CorruptRule(kind=TORN_WRITE, blocks=(100,)),
+            CorruptRule(kind=BIT_FLIP, blocks=(100,)),))
+        observed = FireRecorder()
+        decision = plan.decide_read(_req(100), 0, observed=observed)
+        assert decision.rule_index == 0 and decision.kind == TORN_WRITE
+        assert observed == {0, 1}
+        assert observed.counts == {0: 1, 1: 1}
+
+
+class TestInjector:
+    def test_note_write_advances_the_generation(self):
+        injector = CorruptionInjector(CorruptPlan(seed=1))
+        assert injector.generation(100) == 0
+        injector.note_write(_req(100), 0)
+        injector.note_write(_req(100), MS)
+        assert injector.generation(100) == 2
+        assert injector.generation(200) == 0
+
+    def test_injected_count_and_metrics(self):
+        metrics = MetricsRegistry()
+        injector = CorruptionInjector(
+            CorruptPlan(seed=1, rules=(
+                CorruptRule(kind=BIT_FLIP, blocks=(100,)),)),
+            metrics=metrics)
+        assert injector.decide_read(_req(100), 0) is not None
+        assert injector.decide_read(_req(200), 0) is None
+        assert injector.injected == 1
+        assert injector.observed.counts == {0: 1}
+        snap = metrics.snapshot()
+        assert snap.total("corruptions_injected_total",
+                          kind=BIT_FLIP) == 1
+
+
+class TestExtentIsolation:
+    """The property the bystander-retention gates rest on."""
+
+    @given(seed=st.integers(0, 2 ** 32 - 1),
+           kind=st.sampled_from(CORRUPT_KINDS),
+           rate=st.floats(0.0, 1.0),
+           lba=st.integers(0, 10_000_000),
+           now=st.integers(0, 10 ** 12),
+           generation=st.integers(0, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_scoped_plan_never_touches_a_bystander(self, seed, kind,
+                                                   rate, lba, now,
+                                                   generation):
+        """For ANY seed, kind, rate and occasion, a plan scoped to one
+        extent decides None for every read wholly outside it."""
+        extent = Extent(500_000, 40_000)
+        plan = extent_corruption(seed, extent, kind=kind, rate=rate)
+        req = _req(lba)
+        if req.end > extent.start and req.lba < extent.end:
+            return   # overlaps the victim extent: fair game
+        assert plan.decide_read(req, now, generation=generation) is None
+
+    @given(seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_scoped_plan_does_hit_inside_the_extent(self, seed):
+        """The isolation above is not vacuous: at rate 1.0 every read
+        inside the extent corrupts."""
+        extent = Extent(500_000, 40_000)
+        plan = extent_corruption(seed, extent, kind=BIT_FLIP, rate=1.0)
+        assert plan.decide_read(_req(extent.start), 0) is not None

@@ -30,6 +30,8 @@ GOLDEN_MISSIONS = [
     ("scale", os.path.join("missions", "scale-scaleout.toml")),
     ("matrix", os.path.join("missions", "matrix",
                             "matrix-silent-transient-sfs.toml")),
+    ("corruption", os.path.join("missions", "matrix",
+                                "corruption-bitflip-sfs.toml")),
 ]
 
 
