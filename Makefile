@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
-    scale scale-smoke sweep sweep-smoke missions-lint matrix-drift \
-    crash integrity lint docs-lint
+    scale scale-smoke smp smp-smoke sweep sweep-smoke missions-lint \
+    matrix-drift crash integrity lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -52,6 +52,15 @@ scale:
 scale-smoke:
 	$(PYTHON) -m repro.exp scale --smoke
 
+# Multi-core crosstalk-containment + core-scaling experiment
+# (results/smp.json; gates enforced at full scale — full scale runs in
+# seconds, so CI runs it unreduced). `smp-smoke` reports only.
+smp:
+	$(PYTHON) -m repro.exp smp
+
+smp-smoke:
+	$(PYTHON) -m repro.exp smp --smoke
+
 # Declarative mission corpus (missions/ + missions/matrix/) across
 # parallel workers; per-mission reports in results/missions/, the
 # aggregate in results/sweep.json. `sweep-smoke` is the CI matrix
@@ -93,4 +102,4 @@ lint:
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
 	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions \
-	    src/repro/supervise src/repro/integrity
+	    src/repro/supervise src/repro/integrity src/repro/place

@@ -8,12 +8,17 @@
 * :mod:`repro.apps.fsclient` — the Figure 9 file-system client:
   page-sized sequential reads from a separate partition, heavily
   pipelined through a deep IO channel.
+* :mod:`repro.apps.compute_app` — a pure CPU-bound domain (the SMP
+  experiments' bystander and hog): progress proportional to CPU
+  received under its contract.
 * :mod:`repro.apps.watch` — bandwidth sampling utilities shared by
   both.
 """
 
+from repro.apps.compute_app import ComputeApplication
 from repro.apps.fsclient import FileSystemClient
 from repro.apps.pager_app import PagingApplication
 from repro.apps.watch import BandwidthWatcher
 
-__all__ = ["BandwidthWatcher", "FileSystemClient", "PagingApplication"]
+__all__ = ["BandwidthWatcher", "ComputeApplication", "FileSystemClient",
+           "PagingApplication"]

@@ -5,6 +5,7 @@
     python -m repro.exp report --metrics [--out DIR]
     python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
     python -m repro.exp scale [--smoke] [--out DIR]
+    python -m repro.exp smp [--smoke] [--out DIR]
     python -m repro.exp sweep [--smoke] [--lint] [--jobs N] [--out DIR]
     python -m repro.exp crash [--out DIR]
     python -m repro.exp integrity [--out DIR]
@@ -18,6 +19,8 @@ a JSON metrics snapshot next to the figure outputs (see
 :mod:`repro.exp.metrics_report`); ``bench`` runs the performance-plane
 suite (:mod:`repro.exp.bench`); ``scale`` runs the multi-volume USBS
 scale-out and failure-containment experiment (:mod:`repro.exp.scale`);
+``smp`` runs the multi-core crosstalk-containment and core-scaling
+experiment (:mod:`repro.exp.smp`);
 ``sweep`` validates and executes the declarative mission corpus under
 ``missions/`` across parallel workers (:mod:`repro.exp.sweep`);
 ``crash`` runs the supervised component-crash recovery scenario
@@ -36,7 +39,7 @@ import time
 
 from repro.exp import (ablations, bench, chaos, crash, fig7, fig8, fig9,
                        integrity, metrics_report, microbench, pressure,
-                       scale, sweep)
+                       scale, smp, sweep)
 
 
 def _banner(title):
@@ -138,6 +141,9 @@ def main(argv):
     if argv and argv[0] == "scale":
         _banner("Scale — multi-volume USBS scale-out & containment")
         return scale.main(argv[1:])
+    if argv and argv[0] == "smp":
+        _banner("SMP — multi-core crosstalk containment & scaling")
+        return smp.main(argv[1:])
     if argv and argv[0] == "sweep":
         _banner("Sweep — declarative mission corpus")
         return sweep.main(argv[1:])
@@ -153,8 +159,8 @@ def main(argv):
     unknown = [t for t in targets if t not in RUNNERS]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
-        print("choose from: %s, all (also: report, bench, scale, sweep, "
-              "crash, integrity)" % ", ".join(RUNNERS))
+        print("choose from: %s, all (also: report, bench, scale, smp, "
+              "sweep, crash, integrity)" % ", ".join(RUNNERS))
         return 1
     started = time.time()
     for target in targets:

@@ -36,6 +36,17 @@ corruptions delivered unverified, every detection accounted repaired
 or lost, and the bystander's bandwidth held through the storm (scrub
 and repair I/O charged to the suffering account).
 
+The ``smp`` family rides along last: multi-core cells exercising the
+per-core Atropos schedulers and the placement layer. The crosstalk
+cells pin a best-effort CPU hog against guaranteed compute bystanders
+whose shares force first-fit-decreasing placement onto *different*
+cores (0.6 + 0.5 > 1.0), so the ``crosstalk_contained`` expectation —
+cores separated and bystander throughput retained within 95 % of a
+hog-less baseline — is the Figure 7 isolation claim restated for
+cores instead of frames. The packing cell admits five mixed-share
+domains onto four cores and gates determinism: placement, per-core
+shares and throughput must be byte-identical on the repeat leg.
+
 ``python -m repro.missions.matrix [--out missions/matrix]`` writes the
 corpus; ``build_matrix()`` returns the normalised mission dicts.
 """
@@ -74,6 +85,15 @@ CORRUPTION_CELLS = (
     ("misdirected_write", "striped4"),
 )
 
+#: SMP cells: (mission suffix, cpu count). The crosstalk cells cross
+#: the hog against one (2-cpu) or two (4-cpu) guaranteed bystanders;
+#: the pack cell is the placement/determinism end.
+SMP_CELLS = (
+    ("crosstalk-2cpu", 2),
+    ("crosstalk-4cpu", 4),
+    ("pack-4cpu", 4),
+)
+
 #: The reduced CI matrix (``repro.exp sweep --smoke``): one mission
 #: per topology x {killed-hostile, surviving-or-no-hostile} cell,
 #: plus the restart and the escalation ends of the crash ladder.
@@ -88,6 +108,8 @@ SMOKE = frozenset((
     "crash-volume-pinned4",
     "corruption-bitflip-sfs",
     "corruption-misdirected-striped4",
+    "smp-crosstalk-2cpu",
+    "smp-pack-4cpu",
 ))
 
 _BEHAVIOR_KIND = {"silent": "revoke_silent", "lie": "revoke_lie",
@@ -388,6 +410,74 @@ def _corruption_mission(kind, topo, seed):
     }
 
 
+def _compute(name, period_ms, slice_ms, extra=False, active_runs=()):
+    """One compute domain (the SMP cells' workload shape)."""
+    out = {"kind": "compute", "name": name, "period_ms": period_ms,
+           "slice_ms": slice_ms, "extra": extra}
+    if active_runs:
+        out["active_runs"] = list(active_runs)
+    return out
+
+
+def _smp_mission(cell, cpus, seed):
+    """One SMP-family mission: crosstalk containment or packing.
+
+    The crosstalk cells give every guaranteed bystander a 60 % share
+    and the best-effort hog 50 %: no pair fits one core, so admission
+    control itself forces core separation, and the hog's slack-soaking
+    (``extra=True``) is confined to its own core. The hog computes
+    only in the ``storm`` run (``active_runs``), so the ``calm`` leg
+    is a true hog-less baseline with identical placement. The pack
+    cell admits shares 50/45/40/30/20 % onto four cores — aggregate
+    1.85 cores, impossible on any single core — and gates nothing but
+    progress and byte-identical determinism (placement, per-core
+    shares and throughput all repeat exactly).
+    """
+    name = "smp-%s" % cell
+    pack = cell.startswith("pack")
+    if pack:
+        domains = [_compute("pack-%c" % c, 20, ms)
+                   for c, ms in zip("abcde", (10.0, 9.0, 8.0, 6.0, 4.0))]
+        runs = [{"name": "steady"}]
+        repeat = "steady"
+        expect = [{"check": "progress", "run": "steady",
+                   "domains": [d["name"] for d in domains]}]
+        description = ("pack five mixed-share domains onto %d cores: "
+                       "placement and throughput deterministic" % cpus)
+    else:
+        bystanders = ["by-a"] if cpus == 2 else ["by-a", "by-b"]
+        domains = [_compute(b, 10, 6.0) for b in bystanders]
+        domains.append(_compute("hog", 10, 5.0, extra=True,
+                                active_runs=("storm",)))
+        runs = [{"name": "calm"}, {"name": "storm"}]
+        repeat = "storm"
+        expect = [
+            {"check": "crosstalk_contained", "run": "storm",
+             "baseline": "calm", "hog": "hog", "domains": bystanders,
+             "floor": 0.95},
+            {"check": "progress", "run": "storm", "domains": bystanders},
+        ]
+        description = ("best-effort hog on %d cores: placement separates "
+                       "it from guaranteed bystanders, throughput held"
+                       % cpus)
+    return {
+        "schema": 1,
+        "mission": {
+            "name": name,
+            "family": "smp",
+            "description": description,
+            "seed": seed,
+            "smoke": name in SMOKE,
+        },
+        "topology": {"machine_mb": 8, "cpus": cpus},
+        "workload": {"domains": domains},
+        "phases": {"settle_sec": 1.0, "measure_sec": 3.0},
+        "runs": runs,
+        "determinism": {"repeat": repeat},
+        "expect": expect,
+    }
+
+
 def build_matrix():
     """All matrix missions, normalised, in generation order."""
     cells = [(hostile, storm, topo)
@@ -404,6 +494,8 @@ def build_matrix():
     missions += [validate_mission(_corruption_mission(kind, topo,
                                                       300 + index))
                  for index, (kind, topo) in enumerate(CORRUPTION_CELLS)]
+    missions += [validate_mission(_smp_mission(cell, cpus, 400 + index))
+                 for index, (cell, cpus) in enumerate(SMP_CELLS)]
     return missions
 
 

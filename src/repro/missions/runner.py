@@ -34,6 +34,7 @@ import json
 import time
 from hashlib import blake2b
 
+from repro.apps.compute_app import ComputeApplication
 from repro.apps.fsclient import FileSystemClient
 from repro.apps.pager_app import PagingApplication
 from repro.faults import (CrashInjector, behavior_plan_from_config,
@@ -46,9 +47,9 @@ from repro.missions.schema import REPORT_SCHEMA_VERSION
 from repro.mm.balancer import MemoryBalancer
 from repro.sched.atropos import QoSSpec
 from repro.sim.units import MS, SEC
-from repro.supervise import (BalancerComponent, DriverDomainComponent,
-                             PagerComponent, RestartPolicy, Supervisor,
-                             VolumeComponent)
+from repro.supervise import (BalancerComponent, CoreComponent,
+                             DriverDomainComponent, PagerComponent,
+                             RestartPolicy, Supervisor, VolumeComponent)
 from repro.system import NemesisSystem
 
 KB = 1024
@@ -358,6 +359,12 @@ class MissionRunner:
             kwargs["volume_placement"] = topology["volume_placement"]
             kwargs["volume_seed"] = (topology["volume_seed"]
                                      or self.mission["mission"]["seed"])
+        if topology["cpus"]:
+            # The SMP platform: per-core Atropos run queues with
+            # seed-stable domain placement (see repro.place).
+            kwargs["cpus"] = topology["cpus"]
+            kwargs["placement"] = topology["placement"]
+            kwargs["place_seed"] = self.mission["mission"]["seed"]
         integrity = self.mission["integrity"]
         if integrity["enabled"]:
             kwargs["integrity"] = True
@@ -371,9 +378,12 @@ class MissionRunner:
                 [_behavior_rule_config(rule) for rule in behaviors])
         return NemesisSystem(**kwargs)
 
-    def _build_domains(self, system, grabbed):
+    def _build_domains(self, system, grabbed, run_name):
         """Construct every workload domain, in declared order; returns
-        {name: handle} (PagingApplication / FileSystemClient / App)."""
+        {name: handle} (PagingApplication / FileSystemClient /
+        ComputeApplication / App). ``run_name`` gates compute domains'
+        ``active_runs`` (a named-out hog idles but keeps its CPU
+        contract — placement unchanged, appetite zero)."""
         handles = {}
         for domain in self.mission["workload"]["domains"]:
             kind, name = domain["kind"], domain["name"]
@@ -383,6 +393,18 @@ class MissionRunner:
                     extent_blocks=domain["extent_blocks"])
             elif kind == "pager":
                 handles[name] = self._build_pager(system, domain)
+            elif kind == "compute":
+                active = (not domain["active_runs"]
+                          or run_name in domain["active_runs"])
+                handles[name] = ComputeApplication(
+                    system, name,
+                    QoSSpec(period_ns=domain["period_ms"] * MS,
+                            slice_ns=int(round(domain["slice_ms"] * MS)),
+                            extra=domain["extra"], laxity_ns=0),
+                    chunk_ns=int(round(domain["chunk_ms"] * MS)),
+                    chunk_bytes=domain["chunk_kb"] * KB,
+                    guaranteed_frames=domain["guaranteed_frames"],
+                    active=active)
             elif kind == "claimant":
                 handles[name] = system.new_app(
                     name, guaranteed_frames=domain["guaranteed_frames"],
@@ -446,6 +468,9 @@ class MissionRunner:
                 else:
                     handle = handles[name]
                     out.append((name, lambda h=handle: h.bytes_processed))
+            elif domain["kind"] == "compute":
+                handle = handles[name]
+                out.append((name, lambda h=handle: h.bytes_processed))
         return out
 
     # -- fault-plan installation ---------------------------------------------
@@ -587,6 +612,12 @@ class MissionRunner:
             for volume in system.usbs.volumes:
                 components["volume:%d" % volume.index] = VolumeComponent(
                     system.usbs, volume)
+        scheds = getattr(system.cpu, "scheds", None)
+        if scheds is not None:
+            # The SMP platform: each core's run queue is a supervised
+            # driver-domain component (cpu:<index>).
+            for index, sched in enumerate(scheds):
+                components["cpu:%d" % index] = CoreComponent(sched, index)
         return components
 
     def _start_supervision(self, system, run, handles, balancer):
@@ -644,7 +675,7 @@ class MissionRunner:
         self._started = self._clock()
         system = self._build_system(run["topology"])
         grabbed = {}
-        handles = self._build_domains(system, grabbed)
+        handles = self._build_domains(system, grabbed, run["name"])
         pagers = self._pagers(handles)
         balancer = (MemoryBalancer(system)
                     if run["topology"]["balancer"] else None)
@@ -922,7 +953,7 @@ class MissionRunner:
                 "final": self._domain_volumes(pagers),
                 "fault_volumes": fault_volumes,
             }
-        return {
+        payload = {
             "mbit": mbits,
             "aggregate_mbit": round(sum(mbits.values()), 2),
             "min_allocated": min_alloc,
@@ -939,6 +970,19 @@ class MissionRunner:
             "drain_wait_sec": drain_wait_sec,
             "trace_digest": _trace_digest(system.frames_trace),
         }
+        core_map = getattr(system.cpu, "core_map", None)
+        if core_map is not None:
+            # SMP runs only (keeps classic-topology reports byte-stable):
+            # where every domain's contract landed, and each core's
+            # admitted share. Part of the payload, so the determinism
+            # repeat leg byte-compares placement too.
+            payload["core_of"] = {name: core_map[name]
+                                  for name in sorted(core_map)}
+            payload["cpu_shares"] = {
+                "cpu%d" % index: round(sched.admitted_share(), 4)
+                for index, sched in enumerate(system.cpu.scheds)}
+            payload["migrations"] = system.cpu.migrations
+        return payload
 
     # -- invariants -----------------------------------------------------------
 
@@ -1017,6 +1061,29 @@ class MissionRunner:
                         default=0.0)
             return verdict(worst <= check["max"],
                            {"worst_share_error": worst})
+        if kind == "crosstalk_contained":
+            # The Figure-7 argument across cores: every bystander sits
+            # on a different core from the hog AND kept >= floor of its
+            # hog-free baseline bandwidth.
+            payload = payloads[check["run"]]
+            base = payloads[check["baseline"]]["mbit"]
+            cur = payload["mbit"]
+            core_of = payload.get("core_of", {})
+            hog_core = core_of.get(check["hog"])
+            separated = hog_core is not None and all(
+                core_of.get(name) is not None
+                and core_of[name] != hog_core
+                for name in check["domains"])
+            retention = {name: (cur[name] / base[name] if base[name]
+                                else 0.0) for name in check["domains"]}
+            passed = separated and all(value >= check["floor"]
+                                       for value in retention.values())
+            return verdict(passed, {
+                "hog_core": hog_core,
+                "cores": {name: core_of.get(name)
+                          for name in sorted(check["domains"])},
+                "retention": {name: round(value, 4)
+                              for name, value in retention.items()}})
         if kind == "recovered":
             record = payloads[check["run"]]["supervision"].get(
                 check["component"])

@@ -72,7 +72,7 @@ MISSION_FIELDS = (
     _f("name", "str"),
     _f("family", "str",
        choices=("chaos", "pressure", "scale", "matrix",
-                "crash-recovery", "corruption")),
+                "crash-recovery", "corruption", "smp")),
     _f("description", "str", default=""),
     _f("seed", "int", min=0),
     _f("smoke", "bool", default=False),
@@ -80,7 +80,11 @@ MISSION_FIELDS = (
 
 #: ``[topology]`` — how the machine is built. ``machine_mb=0`` keeps
 #: the paper's EB164 platform; ``volume_seed=0`` reuses the mission
-#: seed. Defaults mirror :class:`repro.system.NemesisSystem`.
+#: seed. ``cpus=0`` keeps the classic single-CPU scheduling model;
+#: ``cpus >= 1`` builds the SMP platform (one Atropos run queue per
+#: core) with domain contracts placed by ``placement`` (see
+#: :mod:`repro.place`), seeded by the mission seed. Defaults mirror
+#: :class:`repro.system.NemesisSystem`.
 TOPOLOGY_FIELDS = (
     _f("machine_mb", "int", default=0, min=0, max=4096),
     _f("backing", "str", default="usd", choices=("usd", "fcfs")),
@@ -91,6 +95,8 @@ TOPOLOGY_FIELDS = (
     _f("revocation_timeout_ms", "int", default=100, min=1),
     _f("max_revocation_rounds", "int", default=3, min=1),
     _f("balancer", "bool", default=False),
+    _f("cpus", "int", default=0, min=0, max=16),
+    _f("placement", "str", default="ffd", choices=("ffd", "spread")),
 )
 
 #: ``[phases]`` — the run's timeline: optional populate loop, settle,
@@ -189,6 +195,20 @@ DOMAIN_KINDS = {
         _f("guaranteed_frames", "int", default=8, min=1),
         _f("extra_frames", "int", default=-1, min=-1),
     ),
+    # A pure CPU-bound domain: holds a (p, s, x) CPU contract and loops
+    # `chunk_ms` compute bursts, counting `chunk_kb` of progress per
+    # burst. `extra=True` makes it slack-hungry (a CPU hog burns every
+    # spare cycle its core offers). `active_runs=[]` computes in every
+    # run; naming runs makes the other runs a hog-free baseline.
+    "compute": (
+        _f("period_ms", "int", min=1),
+        _f("slice_ms", "float", min=0.001),
+        _f("extra", "bool", default=False),
+        _f("chunk_ms", "float", default=1.0, min=0.001),
+        _f("chunk_kb", "int", default=64, min=1),
+        _f("guaranteed_frames", "int", default=2, min=1),
+        _f("active_runs", "str_list", default=()),
+    ),
 }
 
 # -- scenario drivers --------------------------------------------------------
@@ -246,7 +266,8 @@ FAULT_FIELDS = (
 #: ``[[runs.crashes]]`` — one crash-fault rule, consulted at the
 #: supervisor's heartbeat instants (requires ``supervision.enabled``).
 #: ``component`` addresses a supervised component (``pager:<name>``,
-#: ``balancer``, ``usd``, ``volume:<index>``; ``""``: any);
+#: ``balancer``, ``usd``, ``volume:<index>``, ``cpu:<index>``;
+#: ``""``: any);
 #: ``max_crashes`` caps the rule's total kills (0: unlimited) so a
 #: storm can be sized to exhaust a restart budget exactly.
 CRASH_FIELDS = (
@@ -410,6 +431,20 @@ EXPECT_KINDS = {
         _f("baseline", "str"),
         _f("domains", "str_list"),
         _f("floor", "float", min=0.0, max=10.0),
+    ),
+    # The SMP family: ``crosstalk_contained`` — in ``run`` (an SMP run,
+    # ``topology.cpus >= 2``), each bystander in ``domains`` was placed
+    # on a different core from ``hog`` (the report's ``core_of``) AND
+    # retained at least ``floor`` of its bandwidth in ``baseline``
+    # (typically the same topology with the hog's compute loop idle via
+    # ``active_runs``) — the paper's Figure-7 argument applied across
+    # cores.
+    "crosstalk_contained": (
+        _f("run", "str"),
+        _f("baseline", "str"),
+        _f("hog", "str"),
+        _f("domains", "str_list"),
+        _f("floor", "float", default=0.95, min=0.0, max=10.0),
     ),
 }
 

@@ -22,7 +22,7 @@ from repro.missions.schema import (DOMAIN_KINDS, DRIVER_KINDS,
 
 #: Domain kinds that produce a bandwidth series (and so can appear in
 #: retention/progress invariants).
-_MEASURED_KINDS = ("fsclient", "pager")
+_MEASURED_KINDS = ("fsclient", "pager", "compute")
 
 
 class MissionError(ValueError):
@@ -209,6 +209,16 @@ class MissionValidator:
             raise MissionError("determinism.repeat",
                                "names no run (runs: %s)"
                                % ", ".join(run_names))
+        for index, domain in enumerate(domains):
+            # A compute domain's active_runs names the runs it computes
+            # in (empty: all); each must exist.
+            if domain["kind"] != "compute":
+                continue
+            for ref in domain["active_runs"]:
+                if ref not in run_names:
+                    raise MissionError(
+                        "workload.domains[%d].active_runs" % index,
+                        "names no run (runs: %s)" % ", ".join(run_names))
         expect = self._expect(raw.get("expect"), domains, drivers, runs,
                               supervision, integrity)
         if phases["populate"] and not any(
@@ -562,9 +572,16 @@ class MissionValidator:
                                    "volume index must be < volumes (%d), "
                                    "got %r" % (topology["volumes"], rest))
             return
+        if prefix == "cpu" and rest:
+            if not rest.isdigit() or int(rest) >= topology["cpus"]:
+                raise MissionError(path,
+                                   "cpu index must be < cpus (%d), got %r"
+                                   % (topology["cpus"], rest))
+            return
         raise MissionError(path,
                            "must be '', 'usd', 'balancer', "
-                           "'pager:<domain>' or 'volume:<index>', got %r"
+                           "'pager:<domain>', 'volume:<index>' or "
+                           "'cpu:<index>', got %r"
                            % component)
 
     def _crashes(self, raw, run_path, pagers, topology, supervision):
@@ -713,6 +730,19 @@ class MissionValidator:
                     raise MissionError("%s.run" % path,
                                        "repaired needs a run with "
                                        "corruption rules")
+            elif kind == "crosstalk_contained":
+                run = _run_ref("run", check["run"])
+                _run_ref("baseline", check["baseline"])
+                _domain_refs("hog", [check["hog"]], ("compute",))
+                _domain_refs("domains", check["domains"], _MEASURED_KINDS)
+                if check["hog"] in check["domains"]:
+                    raise MissionError("%s.domains" % path,
+                                       "the hog cannot be its own "
+                                       "bystander")
+                if run["topology"]["cpus"] < 2:
+                    raise MissionError("%s.run" % path,
+                                       "crosstalk_contained needs a run "
+                                       "with cpus >= 2")
             elif kind == "scrub_overhead":
                 if not (integrity["enabled"] and integrity["scrub"]):
                     raise MissionError("%s.check" % path,

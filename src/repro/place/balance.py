@@ -1,0 +1,110 @@
+"""Observation-driven core balancing (the migrate path's client).
+
+Initial placement is a guess about the future; the balancer corrects it
+from observations. Each period it samples how much CPU time every core
+actually *charged* (guaranteed service plus slack handed to best-effort
+clients — the same counters the per-core ``sched_*`` metrics export) and
+compares the busiest core against the idlest. When the busy-fraction
+gap exceeds the threshold, it picks the lightest movable contract on the
+hot core that still fits on the cool core and asks the SMP CPU to
+migrate it. The migration itself — quiescing in-flight work, moving the
+scheduling context, charging the move to the migrating domain — lives in
+``SmpAtroposCpu.migrate``; the balancer only decides *that* and *what*
+to move, never *how*.
+
+Determinism: samples happen at fixed sim-time periods, candidate
+selection sorts by ``(share, name)``, and the balancer waits for each
+migration to finish before observing again — so its decisions are a
+pure function of the simulated history.
+"""
+
+from repro.sim.units import MS
+
+#: Default observation period between balance decisions.
+DEFAULT_PERIOD_NS = 100 * MS
+
+#: Default busy-fraction gap (hot minus cool) that triggers a move.
+DEFAULT_THRESHOLD = 0.25
+
+
+class CoreBalancer:
+    """Periodically even out observed load across an SMP CPU's cores.
+
+    ``cpu`` must expose the ``SmpAtroposCpu`` surface: ``scheds`` (one
+    Atropos scheduler per core), ``core_map`` (domain name → core),
+    ``accounts`` (domain name → CPU account) and ``migrate(name, core)``.
+    ``moves`` records every decision as ``(sim_ns, name, source, target,
+    completed)`` tuples for tests and reports.
+    """
+
+    def __init__(self, sim, cpu, period_ns=DEFAULT_PERIOD_NS,
+                 threshold=DEFAULT_THRESHOLD, name="core-balancer"):
+        if period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.sim = sim
+        self.cpu = cpu
+        self.period_ns = period_ns
+        self.threshold = threshold
+        self.moves = []
+        self._last = self._charged()
+        self._proc = sim.spawn(self._loop(), name=name)
+
+    def stop(self):
+        """Halt the observation loop (teardown hook)."""
+        if self._proc is not None and self._proc.alive:
+            self._proc.interrupt("balancer stopped")
+        self._proc = None
+
+    def _charged(self):
+        # Total CPU time each core has charged to clients so far.
+        return [sum(client.served_ns + client.slack_ns
+                    for client in sched.clients if not client.departed)
+                for sched in self.cpu.scheds]
+
+    def _busy_fractions(self):
+        # Per-core busy fraction over the last period; departures can
+        # shrink a core's total, so clamp deltas at zero.
+        now = self._charged()
+        busy = [max(0, now[i] - self._last[i]) / self.period_ns
+                for i in range(len(now))]
+        self._last = now
+        return busy
+
+    def _candidate(self, source, target):
+        # Lightest contract on `source` that fits on `target` and is not
+        # already mid-migration (its account would carry a barrier).
+        room = 1.0 - self.cpu.scheds[target].admitted_share()
+        movable = []
+        for name, core in self.cpu.core_map.items():
+            if core != source:
+                continue
+            account = self.cpu.accounts.get(name)
+            if account is None or account._barrier is not None:
+                continue
+            share = account._client.qos.share
+            if share <= room + 1e-12:
+                movable.append((share, name))
+        if not movable:
+            return None
+        return min(movable)[1]
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.period_ns)
+            busy = self._busy_fractions()
+            if len(busy) < 2:
+                continue
+            hot = max(range(len(busy)), key=lambda i: (busy[i], -i))
+            cool = min(range(len(busy)), key=lambda i: (busy[i], i))
+            if busy[hot] - busy[cool] < self.threshold:
+                continue
+            name = self._candidate(hot, cool)
+            if name is None:
+                continue
+            done = self.cpu.migrate(name, cool, reason="balance")
+            moved = yield done
+            self.moves.append((self.sim.now, name, hot, cool, bool(moved)))
+            # Re-baseline so the move itself isn't read as load.
+            self._last = self._charged()

@@ -30,6 +30,7 @@ Components wrap the four things that can die mid-flight:
 from repro.supervise.components import (
     BalancerComponent,
     Component,
+    CoreComponent,
     DriverDomainComponent,
     PagerComponent,
     VolumeComponent,
@@ -44,6 +45,7 @@ from repro.supervise.supervisor import (
 
 __all__ = [
     "STATE_DEGRADED", "STATE_RETIRED", "STATE_RUNNING",
-    "BalancerComponent", "Component", "DriverDomainComponent",
-    "PagerComponent", "RestartPolicy", "Supervisor", "VolumeComponent",
+    "BalancerComponent", "Component", "CoreComponent",
+    "DriverDomainComponent", "PagerComponent", "RestartPolicy",
+    "Supervisor", "VolumeComponent",
 ]

@@ -7,7 +7,8 @@ delivery), ``restart()`` (state reconstruction), ``checkpoint()``
 (called on every healthy heartbeat, so reconstruction has something
 recent to start from), and the escalation pair ``degrade()`` /
 ``retire()``. Component identifiers are the crash plane's addressing
-scheme: ``pager:<name>``, ``balancer``, ``usd``, ``volume:<index>``.
+scheme: ``pager:<name>``, ``balancer``, ``usd``, ``volume:<index>``,
+``cpu:<index>`` (the SMP platform's per-core run queues).
 """
 
 from repro.usbs.volume import DEGRADED as VOLUME_DEGRADED
@@ -183,6 +184,35 @@ class DriverDomainComponent(Component):
     def restart(self):
         """Respawn the loop; it replays the requeued transaction."""
         self.usd.sched.restart()
+
+
+class CoreComponent(Component):
+    """One SMP core's Atropos run queue (component id ``cpu:<index>``).
+
+    The per-core analogue of :class:`DriverDomainComponent`: a crash
+    kills only the core's scheduling loop — every client's contract,
+    queue and refill process survives, and the in-flight burst is
+    requeued at the head of its owner's queue. Restart respawns the
+    loop, which replays that burst first, so a supervised core recovers
+    without losing any domain's CPU accounting.
+    """
+
+    def __init__(self, sched, index):
+        super().__init__("cpu:%d" % index)
+        self.sched = sched
+        self.index = index
+
+    def alive(self):
+        """The core's scheduling loop is serving bursts."""
+        return self.sched.running
+
+    def kill(self, reason):
+        """Crash the core's loop; the in-flight burst is requeued."""
+        self.sched.crash(reason)
+
+    def restart(self):
+        """Respawn the core's loop; it replays the requeued burst."""
+        self.sched.restart()
 
 
 class VolumeComponent(Component):

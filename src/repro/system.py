@@ -28,7 +28,7 @@ from repro.hw.mmu import MMU, AccessKind
 from repro.hw.pagetable import GuardedPageTable, LinearPageTable
 from repro.hw.physmem import PhysicalMemory
 from repro.hw.platform import ALPHA_EB164
-from repro.kernel.cpu import AtroposCpu, FifoCpu, UnlimitedCpu
+from repro.kernel.cpu import AtroposCpu, FifoCpu, SmpAtroposCpu, UnlimitedCpu
 from repro.kernel.kernel import Kernel
 from repro.mm.frames import FramesAllocator
 from repro.mm.mmentry import MMEntry
@@ -213,6 +213,12 @@ class App:
         """
         system = self.system
         self.domain.kill("shutdown")
+        # On the SMP platform, release the domain's per-core CPU share
+        # so admission control can re-grant it (single-CPU models keep
+        # their historical no-op behaviour).
+        cpu_depart = getattr(system.cpu, "depart_account", None)
+        if cpu_depart is not None:
+            cpu_depart(self.domain.cpu, discard=True)
         system.frames_allocator.depart(self.frames)
         for stretch in list(self.stretches):
             if not stretch.destroyed:
@@ -264,7 +270,8 @@ class NemesisSystem:
                  volume_placement="striped", volume_seed=1999,
                  volume_geometry=None, volume_monitor=True,
                  integrity=False, integrity_scrub=True,
-                 scrub_interval=20 * MS, integrity_threshold=4):
+                 scrub_interval=20 * MS, integrity_threshold=4,
+                 cpus=0, placement="ffd", place_seed=1999):
         # Observability first: every subsystem below takes the registry.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.sim = Simulator(metrics=self.metrics)
@@ -301,10 +308,20 @@ class NemesisSystem:
         self.scrubbers = {}         # backing name -> Scrubber
         self.integrity_swaps = []   # every ChecksummedSwap built
         self._escalator = None
-        # Kernel + CPU.
-        if cpu not in _CPUS:
-            raise ValueError("cpu must be one of %s" % list(_CPUS))
-        self.cpu = _CPUS[cpu](self.sim)
+        # Kernel + CPU. `cpus` (or a Machine with cpus > 1) selects the
+        # SMP platform: one Atropos run queue per core, with domain
+        # placement by `placement`/`place_seed` (see repro.place). The
+        # default (cpus=0 on a uniprocessor machine) keeps the classic
+        # single-CPU models bit-identical.
+        smp_cpus = cpus or (machine.cpus if machine.cpus > 1 else 0)
+        if smp_cpus:
+            self.cpu = SmpAtroposCpu(self.sim, cpus=smp_cpus,
+                                     placement=placement, seed=place_seed,
+                                     metrics=self.metrics)
+        else:
+            if cpu not in _CPUS:
+                raise ValueError("cpu must be one of %s" % list(_CPUS))
+            self.cpu = _CPUS[cpu](self.sim)
         self.kernel = Kernel(self.sim, machine, self.mmu, self.meter,
                              self.cpu, metrics=self.metrics,
                              spans=self.spans)

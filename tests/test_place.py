@@ -1,0 +1,92 @@
+"""Tests for the placement layer: the seed-stable draw, the online
+policies (first-fit-decreasing and spread), refusal semantics, and the
+offline batch planner."""
+
+import pytest
+
+from repro.place import (PlacementError, PlacementPolicy, placement_draw,
+                         plan_placement)
+
+
+class TestPlacementDraw:
+    def test_in_range_and_stable(self):
+        for count in (1, 2, 7):
+            first = placement_draw(1999, "domain", count)
+            assert 0 <= first < count
+            assert placement_draw(1999, "domain", count) == first
+
+    def test_varies_by_name_and_seed(self):
+        draws = {placement_draw(1999, "d%d" % index, 1000)
+                 for index in range(32)}
+        assert len(draws) > 1
+        assert (placement_draw(1, "domain", 1000)
+                != placement_draw(2, "domain", 1000)
+                or placement_draw(1, "other", 1000)
+                != placement_draw(2, "other", 1000))
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ValueError):
+            placement_draw(1999, "domain", 0)
+
+
+class TestPlacementPolicy:
+    def test_ffd_packs_most_loaded_fitting(self):
+        policy = PlacementPolicy(3)
+        assert policy.choose("a", 0.3, [0.6, 0.2, 0.0]) == 0
+        # 0.6 no longer fits; the next most-loaded core wins.
+        assert policy.choose("b", 0.5, [0.6, 0.2, 0.0]) == 1
+
+    def test_spread_picks_least_loaded(self):
+        policy = PlacementPolicy(3, policy="spread")
+        assert policy.choose("a", 0.3, [0.6, 0.2, 0.0]) == 2
+
+    def test_tie_break_is_deterministic(self):
+        policy = PlacementPolicy(4, seed=7)
+        first = policy.choose("a", 0.5, [0.0, 0.0, 0.0, 0.0])
+        assert policy.choose("a", 0.5, [0.0, 0.0, 0.0, 0.0]) == first
+        assert (PlacementPolicy(4, seed=7)
+                .choose("a", 0.5, [0.0, 0.0, 0.0, 0.0]) == first)
+
+    def test_share_over_one_core_refused(self):
+        with pytest.raises(PlacementError):
+            PlacementPolicy(4).choose("a", 1.5, [0.0] * 4)
+
+    def test_no_core_fits_refused_despite_aggregate_spare(self):
+        # 0.4 + 0.5 spare in aggregate, but no single core has 0.6.
+        with pytest.raises(PlacementError) as err:
+            PlacementPolicy(2).choose("a", 0.6, [0.6, 0.5])
+        assert "aggregate spare" in str(err.value)
+
+    def test_load_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            PlacementPolicy(2).choose("a", 0.1, [0.0])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PlacementPolicy(0)
+        with pytest.raises(ValueError):
+            PlacementPolicy(2, policy="random")
+
+
+class TestPlanPlacement:
+    def test_classic_ffd(self):
+        plan = plan_placement([("a", 0.6), ("b", 0.5), ("c", 0.3)], 2,
+                              seed=7)
+        assert set(plan) == {"a", "b", "c"}
+        # a and b cannot share a core; c joins a (0.9) not b (0.8 would
+        # be less loaded -- ffd packs the most-loaded fitting core).
+        assert plan["a"] != plan["b"]
+        assert plan["c"] == plan["a"]
+
+    def test_deterministic_across_calls(self):
+        contracts = [("d%d" % index, 0.25) for index in range(8)]
+        assert (plan_placement(contracts, 3, seed=42)
+                == plan_placement(contracts, 3, seed=42))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placement([("a", 0.3), ("a", 0.2)], 2)
+
+    def test_unplaceable_contract_raises(self):
+        with pytest.raises(PlacementError):
+            plan_placement([("a", 0.6), ("b", 0.6), ("c", 0.6)], 2)
