@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test obs chaos chaos-pressure report bench bench-smoke \
-    scale scale-smoke smp smp-smoke sweep sweep-smoke missions-lint \
-    matrix-drift crash integrity lint docs-lint
+    scale scale-smoke smp smp-smoke regimes regimes-smoke sweep \
+    sweep-smoke missions-lint matrix-drift crash integrity lint docs-lint
 
 # Tier-1 suite (the repo's acceptance bar) + the observability tests.
 verify: test obs
@@ -61,6 +61,16 @@ smp:
 smp-smoke:
 	$(PYTHON) -m repro.exp smp --smoke
 
+# Translation-regime ablation: seg vs paged fault cost and bandwidth,
+# plus the per-stretch multi-pager registry under revocation waves
+# (results/regimes.json; gates enforced at full scale). `regimes-smoke`
+# is the CI variant: shorter windows, gates reported only.
+regimes:
+	$(PYTHON) -m repro.exp regimes
+
+regimes-smoke:
+	$(PYTHON) -m repro.exp regimes --smoke
+
 # Declarative mission corpus (missions/ + missions/matrix/) across
 # parallel workers; per-mission reports in results/missions/, the
 # aggregate in results/sweep.json. `sweep-smoke` is the CI matrix
@@ -102,4 +112,5 @@ lint:
 docs-lint:
 	$(PYTHON) tools/docstring_lint.py --threshold 90 src/repro/sim \
 	    src/repro/exp src/repro/usd src/repro/usbs src/repro/missions \
-	    src/repro/supervise src/repro/integrity src/repro/place
+	    src/repro/supervise src/repro/integrity src/repro/place \
+	    src/repro/regimes

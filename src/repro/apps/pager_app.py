@@ -41,24 +41,35 @@ class PagingApplication:
                  swap_bytes=16 * MB, guaranteed_frames=None,
                  extra_frames=0, watch_period=5 * SEC,
                  driver_kind="paged", store=None, placement=None,
-                 prefetch_depth=4):
+                 prefetch_depth=4, pagers=None):
         if mode not in ("read-loop", "write-loop"):
             raise ValueError("mode must be 'read-loop' or 'write-loop'")
-        if driver_kind not in ("paged", "stream"):
-            raise ValueError("driver_kind must be 'paged' or 'stream'")
+        if driver_kind not in ("paged", "stream", "seg"):
+            raise ValueError("driver_kind must be 'paged', 'stream' "
+                             "or 'seg'")
         self.system = system
         self.name = name
         self.mode = mode
         self.bytes_processed = 0
         self.loops_completed = 0
         self.populated = system.sim.event("%s.populated" % name)
+        self.page_size = system.machine.page_size
         # Contract: exactly the frames the driver needs (plus none
-        # optimistic) — the time-sensitive-app idiom of §6.2.
-        frames = driver_frames if guaranteed_frames is None else guaranteed_frames
+        # optimistic) — the time-sensitive-app idiom of §6.2. The seg
+        # regime has no backing store, so its working set *is* the
+        # whole stretch: the default contract covers every page.
+        if guaranteed_frames is None:
+            frames = (stretch_bytes // self.page_size
+                      if driver_kind == "seg" else driver_frames)
+        else:
+            frames = guaranteed_frames
         self.app = system.new_app(name, guaranteed_frames=frames,
                                   extra_frames=extra_frames)
         self.stretch = self.app.new_stretch(stretch_bytes)
-        if driver_kind == "stream":
+        if driver_kind == "seg":
+            # The segmentation regime: one contiguous extent, no swap.
+            self.driver = self.app.seg_driver()
+        elif driver_kind == "stream":
             # The pipelined driver — the one that converts a
             # multi-volume backing (store="usbs") into aggregate
             # bandwidth. Forgetfulness is a pure-demand-driver notion,
@@ -73,13 +84,74 @@ class PagingApplication:
                 forgetful=(mode == "write-loop"), store=store,
                 placement=placement)
         self.app.bind(self.stretch, self.driver)
-        self.page_size = system.machine.page_size
         self._per_page_compute = (system.meter.model["per_byte_touch"]
                                   * self.page_size)
+        # The multi-pager mix: extra stretches, each with its own pager
+        # personality, faults demuxed by the domain's PagerRegistry.
+        self.extra_drivers = []
+        self.extra_bytes = 0
+        for spec in (pagers or []):
+            self._add_pager(dict(spec), qos)
         self.main_thread = self.app.spawn(self._main(), name="%s-main" % name)
         self.watch = BandwidthWatcher(
             system.sim, lambda: self.bytes_processed,
             period=watch_period, name="%s-watch" % name)
+
+    # -- the multi-pager mix ---------------------------------------------
+
+    def _add_pager(self, spec, qos):
+        """Build one extra stretch + pager personality from a spec.
+
+        ``spec`` keys: ``kind`` (paged / forgetful / mapped-file /
+        nailed / physical / seg), ``pages`` (stretch size), ``frames``
+        (driver pool), ``swap_kb`` (paged kinds), ``priority``
+        (revocation order, lower pays first), ``name``. The stretch
+        gets its own toucher thread (write pass, then an endless read
+        loop) counting into ``extra_bytes`` — the main stretch's
+        ``bytes_processed`` bandwidth stays comparable across regimes.
+        """
+        app = self.app
+        name = spec.pop("name", None) or "%s-p%d" % (
+            self.name, len(self.extra_drivers))
+        kind = spec.pop("kind")
+        pages = spec.pop("pages", 16)
+        frames = spec.pop("frames", 0)
+        priority = spec.pop("priority", None)
+        swap_bytes = spec.pop("swap_kb", 4 * pages * self.page_size
+                              // KB) * KB
+        if spec:
+            raise ValueError("unknown pager spec keys %s" % sorted(spec))
+        nbytes = pages * self.page_size
+        if kind in ("paged", "forgetful"):
+            driver = app.paged_driver(frames=frames, swap_bytes=swap_bytes,
+                                      qos=qos, forgetful=(kind == "forgetful"),
+                                      name=name)
+        elif kind == "mapped-file":
+            file = self.system.filesystem.create(name, nbytes, qos)
+            driver = app.mmap_driver(file, frames=frames, name=name)
+        elif kind == "nailed":
+            driver = app.nailed_driver(name=name)
+        elif kind == "physical":
+            driver = app.physical_driver(frames=frames, name=name)
+        elif kind == "seg":
+            driver = app.seg_driver(name=name)
+        else:
+            raise ValueError("unknown pager kind %r" % kind)
+        stretch = app.new_stretch(nbytes)
+        app.bind(stretch, driver, priority=priority)
+        app.spawn(self._extra_body(stretch), name="%s-touch" % name)
+        self.extra_drivers.append((name, kind, driver, stretch))
+
+    def _extra_body(self, stretch):
+        """Toucher for one extra stretch: populate, then read forever."""
+        for va in stretch.pages():
+            yield Touch(va, AccessKind.WRITE)
+            yield Compute(self._per_page_compute, label="process-page")
+        while True:
+            for va in stretch.pages():
+                yield Touch(va, AccessKind.READ)
+                yield Compute(self._per_page_compute, label="process-page")
+                self.extra_bytes += self.page_size
 
     # -- thread bodies ---------------------------------------------------
 

@@ -6,6 +6,7 @@
     python -m repro.exp bench [--smoke] [--reps N] [--out DIR]
     python -m repro.exp scale [--smoke] [--out DIR]
     python -m repro.exp smp [--smoke] [--out DIR]
+    python -m repro.exp regimes [--smoke] [--out DIR]
     python -m repro.exp sweep [--smoke] [--lint] [--jobs N] [--out DIR]
     python -m repro.exp crash [--out DIR]
     python -m repro.exp integrity [--out DIR]
@@ -20,7 +21,9 @@ a JSON metrics snapshot next to the figure outputs (see
 suite (:mod:`repro.exp.bench`); ``scale`` runs the multi-volume USBS
 scale-out and failure-containment experiment (:mod:`repro.exp.scale`);
 ``smp`` runs the multi-core crosstalk-containment and core-scaling
-experiment (:mod:`repro.exp.smp`);
+experiment (:mod:`repro.exp.smp`); ``regimes`` runs the
+segmentation-vs-paged translation-regime ablation and the multi-pager
+registry accountability gates (:mod:`repro.exp.regimes`);
 ``sweep`` validates and executes the declarative mission corpus under
 ``missions/`` across parallel workers (:mod:`repro.exp.sweep`);
 ``crash`` runs the supervised component-crash recovery scenario
@@ -39,7 +42,7 @@ import time
 
 from repro.exp import (ablations, bench, chaos, crash, fig7, fig8, fig9,
                        integrity, metrics_report, microbench, pressure,
-                       scale, smp, sweep)
+                       regimes, scale, smp, sweep)
 
 
 def _banner(title):
@@ -144,6 +147,9 @@ def main(argv):
     if argv and argv[0] == "smp":
         _banner("SMP — multi-core crosstalk containment & scaling")
         return smp.main(argv[1:])
+    if argv and argv[0] == "regimes":
+        _banner("Regimes — seg/paged ablation & multi-pager registry")
+        return regimes.main(argv[1:])
     if argv and argv[0] == "sweep":
         _banner("Sweep — declarative mission corpus")
         return sweep.main(argv[1:])
@@ -160,7 +166,7 @@ def main(argv):
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
         print("choose from: %s, all (also: report, bench, scale, smp, "
-              "sweep, crash, integrity)" % ", ".join(RUNNERS))
+              "regimes, sweep, crash, integrity)" % ", ".join(RUNNERS))
         return 1
     started = time.time()
     for target in targets:

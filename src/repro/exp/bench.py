@@ -21,6 +21,10 @@ Five deterministic benchmarks, macro and micro:
 ``usbs_scaleout``     two streaming self-pagers striped across a
                       four-volume backing store (the multi-volume
                       USBS data path end to end)
+``seg_vs_paged``      first-touch fault resolution under both
+                      translation regimes (one extent fault vs
+                      page-by-page demand-zero), recording each
+                      regime's simulated cost alongside wall-clock
 
 Every benchmark performs a fixed, deterministic number of simulated
 operations (identical on every host and every run), so ops/sec numbers
@@ -73,6 +77,7 @@ _BASELINE_NUMBERS = {
     "table1": None,        # wall-clock benchmarks: baseline is seconds
     "fig7_scale": None,
     "usbs_scaleout": None,  # new with the multi-volume USBS: no baseline
+    "seg_vs_paged": None,   # new with repro.regimes: no baseline
 }
 
 # Baseline wall-clock seconds for the macro benchmarks.
@@ -232,6 +237,36 @@ def bench_usbs_scaleout(volumes=4, stretch_kb=512, measure_sec=1.5):
     return ops, wall
 
 
+def bench_seg_vs_paged(pages=64):
+    """First-touch fault resolution under both translation regimes.
+
+    Runs the :mod:`repro.exp.regimes` fault-cost probe back to back:
+    the seg regime resolves its whole stretch with one extent fault,
+    the paged regime demand-zeroes page by page from a primed pool.
+    ops == total faults resolved across both regimes (``pages + 1``),
+    deterministic for a fixed page count. The extra payload records
+    each regime's *simulated* per-page fault-resolution cost — also
+    deterministic, so it doubles as a regression net for the fault
+    path itself, independent of host speed.
+    """
+    from repro.exp.regimes import RegimesConfig, _first_touch_ns
+
+    config = RegimesConfig(cost_pages=pages)
+    start = time.perf_counter()
+    seg = _first_touch_ns(config, "seg")
+    paged = _first_touch_ns(config, "paged")
+    wall = time.perf_counter() - start
+    ops = seg["faults"] + paged["faults"]
+    ratio = (seg["ns_per_page"] / paged["ns_per_page"]
+             if paged["ns_per_page"] else 0.0)
+    extra = {
+        "seg_ns_per_page": round(seg["ns_per_page"], 1),
+        "paged_ns_per_page": round(paged["ns_per_page"], 1),
+        "seg_over_paged": round(ratio, 4),
+    }
+    return ops, wall, extra
+
+
 def bench_table1(iterations=40):
     """Wall-clock of the Table 1 microbench suite at reduced iterations.
 
@@ -291,6 +326,9 @@ SUITE = {
                        "measure_sec": 1.5},
                       {"volumes": 4, "stretch_kb": 256,
                        "measure_sec": 0.5}),
+    "seg_vs_paged": (bench_seg_vs_paged,
+                     {"pages": 64},
+                     {"pages": 16}),
 }
 
 #: Benchmarks whose headline number is seconds per run, not ops/sec.
@@ -308,18 +346,24 @@ def run_benchmark(name, reps=3, warmup=1, smoke=False):
     for _ in range(warmup):
         fn(**kwargs)
     ops = None
+    extra = None
     samples = []
     for _ in range(reps):
-        run_ops, wall = fn(**kwargs)
+        # A benchmark returns (ops, wall) or (ops, wall, extra): the
+        # optional extra dict carries *simulated* numbers (deterministic
+        # like the op count, and asserted to be).
+        out = fn(**kwargs)
+        run_ops, wall = out[0], out[1]
+        run_extra = out[2] if len(out) > 2 else None
         if ops is None:
-            ops = run_ops
-        elif run_ops != ops:
+            ops, extra = run_ops, run_extra
+        elif run_ops != ops or run_extra != extra:
             raise AssertionError(
-                "benchmark %s is not deterministic: %d ops then %d ops"
-                % (name, ops, run_ops))
+                "benchmark %s is not deterministic: %r/%r then %r/%r"
+                % (name, ops, extra, run_ops, run_extra))
         samples.append(wall)
     best = min(samples)
-    return {
+    result = {
         "name": name,
         "params": dict(kwargs),
         "ops": ops,
@@ -329,6 +373,9 @@ def run_benchmark(name, reps=3, warmup=1, smoke=False):
         "ops_per_sec": round(ops / best, 1) if best > 0 else None,
         "unit": "s/run" if name in WALL_CLOCK else "ops/s",
     }
+    if extra is not None:
+        result["extra"] = extra
+    return result
 
 
 def run_suite(reps=3, warmup=1, smoke=False, names=None):

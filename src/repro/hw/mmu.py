@@ -83,6 +83,10 @@ class MMU:
         self.meter = meter
         self.tlb = TLB(meter, capacity=tlb_capacity)
         self.assists = 0  # FOR/FOW software-assist count
+        # Optional segmentation fast path (repro.regimes): a registry of
+        # contiguous extents consulted before the TLB/PT walk. None (the
+        # default) keeps the classic per-page path untouched.
+        self.seg = None
         # machine.page_shift is a computed property; cache it so the
         # per-access VPN extraction is a single shift.
         self._page_shift = machine.page_shift
@@ -104,6 +108,18 @@ class MMU:
         kernel decides what to do with them (dispatch to the domain).
         """
         vpn = va >> self._page_shift
+        seg = self.seg
+        if seg is not None and seg.extents:
+            extent = seg.resolve(vpn)
+            if extent is not None:
+                # Base+limit hit: translate with a bounds check and an
+                # add. Rights are still consulted per access (the seg
+                # regime changes translation, never protection). Like a
+                # TLB hit, the resolution itself charges nothing.
+                if not protdom.rights_for(extent.sid).permits(kind):
+                    return AccessResult(False, va, kind,
+                                        fault=FaultCode.PROTECTION)
+                return AccessResult(True, va, kind, pfn=extent.pfn_of(vpn))
         pte = self._lookup(vpn)
         if pte is None:
             return AccessResult(False, va, kind, fault=FaultCode.UNALLOCATED)

@@ -94,6 +94,12 @@ SMP_CELLS = (
     ("pack-4cpu", 4),
 )
 
+#: Regimes cells: the ablation cell runs the same read loop under the
+#: seg and paged regimes side by side under a mid-run claim; the
+#: multipager cell runs one domain with three pager personalities
+#: (paged + mapped-file + nailed) under the same claim.
+REGIME_CELLS = ("ablation", "multipager")
+
 #: The reduced CI matrix (``repro.exp sweep --smoke``): one mission
 #: per topology x {killed-hostile, surviving-or-no-hostile} cell,
 #: plus the restart and the escalation ends of the crash ladder.
@@ -110,6 +116,7 @@ SMOKE = frozenset((
     "corruption-misdirected-striped4",
     "smp-crosstalk-2cpu",
     "smp-pack-4cpu",
+    "regimes-multipager-sfs",
 ))
 
 _BEHAVIOR_KIND = {"silent": "revoke_silent", "lie": "revoke_lie",
@@ -478,6 +485,100 @@ def _smp_mission(cell, cpus, seed):
     }
 
 
+def _regimes_mission(cell, seed):
+    """One regimes-family mission (the :mod:`repro.regimes` plane).
+
+    The ``ablation`` cell runs the Figure-7 read loop twice — once
+    under the seg regime (one base+limit extent, no swap) and once
+    under the classic paged regime — side by side through a mid-run
+    frame claim, gating that both make progress, nobody is killed and
+    the claim is met without dipping the paged domain below its
+    guarantee. The ``multipager`` cell runs *one* domain with three
+    pager personalities (paged main stretch + mapped-file + nailed
+    extras, faults demuxed by the per-stretch registry) through the
+    same claim; its nailed pages pin under the guarantee, so the
+    frame floor proves the registry charges every personality to the
+    one contract. Both repeat byte-identically.
+    """
+    name = "regimes-%s-sfs" % cell
+
+    def _reader(domain, **overrides):
+        # The corruption cells' read-loop shape (short period so the
+        # synchronous demand faults don't crawl, wide slice so the
+        # bandwidth is mostly guaranteed).
+        coop = _coop(domain, "sfs")
+        coop.update(mode="read-loop", stretch_kb=256, driver_frames=24,
+                    guaranteed_frames=24, period_ms=50, slice_ms=20.0)
+        coop.update(overrides)
+        return coop
+
+    if cell == "ablation":
+        # The seg regime has no swap and no frame pool: driver_frames
+        # and swap_kb sit at the schema floors (unused), and the zero
+        # guarantee takes the whole-stretch default contract (32
+        # pages), so the extent is never revocable below the stretch.
+        domains = [
+            _reader("seg-app", driver_kind="seg", driver_frames=1,
+                    swap_kb=8, guaranteed_frames=0),
+            _reader("paged-app"),
+            {"kind": "claimant", "name": "claimant",
+             "guaranteed_frames": 32, "extra_frames": 16},
+        ]
+        sampled = ["paged-app"]
+        floor = 24
+        progress = ["seg-app", "paged-app"]
+        description = ("seg vs paged ablation: one read loop per "
+                       "regime through a frame claim, both progress, "
+                       "nobody killed")
+    else:
+        # One domain, three personalities: the nailed extra pins 8
+        # pages and the mapped-file extra keeps a 4-frame pool, all
+        # charged to the single 48-frame guarantee.
+        domains = [
+            _reader("multi", guaranteed_frames=48, extra_frames=16,
+                    stretches=[
+                        {"driver": "mapped-file", "pages": 8,
+                         "frames": 4, "priority": 1},
+                        {"driver": "nailed", "pages": 8, "priority": 9},
+                    ]),
+            {"kind": "claimant", "name": "claimant",
+             "guaranteed_frames": 32, "extra_frames": 16},
+        ]
+        sampled = ["multi"]
+        floor = 32
+        progress = ["multi"]
+        description = ("three pager personalities on one contract "
+                       "(paged + mapped-file + nailed) through a "
+                       "frame claim, frame floor held")
+    return {
+        "schema": 1,
+        "mission": {
+            "name": name,
+            "family": "regimes",
+            "description": description,
+            "seed": seed,
+            "smoke": name in SMOKE,
+        },
+        "topology": _topology("sfs"),
+        "workload": {"domains": domains},
+        "drivers": [
+            {"kind": "sample_min_alloc", "domains": sampled},
+            {"kind": "claim", "client": "claimant", "frames": 24,
+             "at_sec": 0.5},
+        ],
+        "phases": {"settle_sec": 1.0, "measure_sec": 3.0,
+                   "populate": True},
+        "runs": [{"name": "steady"}],
+        "determinism": {"repeat": "steady"},
+        "expect": [
+            {"check": "min_frames", "domains": sampled, "floor": floor},
+            {"check": "claim_granted", "frames": 24},
+            {"check": "kill_set", "exactly": {}},
+            {"check": "progress", "run": "steady", "domains": progress},
+        ],
+    }
+
+
 def build_matrix():
     """All matrix missions, normalised, in generation order."""
     cells = [(hostile, storm, topo)
@@ -496,6 +597,8 @@ def build_matrix():
                  for index, (kind, topo) in enumerate(CORRUPTION_CELLS)]
     missions += [validate_mission(_smp_mission(cell, cpus, 400 + index))
                  for index, (cell, cpus) in enumerate(SMP_CELLS)]
+    missions += [validate_mission(_regimes_mission(cell, 500 + index))
+                 for index, cell in enumerate(REGIME_CELLS)]
     return missions
 
 

@@ -142,8 +142,10 @@ def _counter_total(system, name):
 
 def _swap_clients(driver):
     """The USD client(s) behind a driver's swap (1 for SFS, N for a
-    multi-volume backing)."""
-    swap = driver.swap
+    multi-volume backing; none for swapless regimes like seg)."""
+    swap = getattr(driver, "swap", None)
+    if swap is None:
+        return []
     attachments = getattr(swap, "attachments", None)
     if attachments is not None:
         return list(attachments())
@@ -431,6 +433,20 @@ class MissionRunner:
         """One pager domain's application — also the supervisor's
         rebuild recipe, so a restarted pager re-admits through the
         exact constructor call the original used."""
+        pagers = []
+        for spec in domain.get("stretches", ()):
+            # Normalised stretch spec -> PagingApplication pager spec:
+            # sentinel values ("" name, -1 priority, 0 swap_kb) mean
+            # "use the application default".
+            pager = {"kind": spec["driver"], "pages": spec["pages"],
+                     "frames": spec["frames"]}
+            if spec["name"]:
+                pager["name"] = spec["name"]
+            if spec["priority"] != -1:
+                pager["priority"] = spec["priority"]
+            if spec["swap_kb"]:
+                pager["swap_kb"] = spec["swap_kb"]
+            pagers.append(pager)
         return PagingApplication(
             system, domain["name"], _qos(domain), mode=domain["mode"],
             stretch_bytes=domain["stretch_kb"] * KB,
@@ -440,7 +456,8 @@ class MissionRunner:
             extra_frames=domain["extra_frames"],
             driver_kind=domain["driver_kind"],
             store=(None if domain["store"] == "sfs" else "usbs"),
-            prefetch_depth=domain["prefetch_depth"])
+            prefetch_depth=domain["prefetch_depth"],
+            pagers=pagers or None)
 
     def _pagers(self, handles):
         """Pager handles, in declared order (``handles`` tracks the
@@ -898,7 +915,8 @@ class MissionRunner:
         """{pager name: [volume names of its shards]} (USBS only)."""
         out = {}
         for name, pager in pagers:
-            slots = getattr(pager.driver.swap, "slots", None)
+            slots = getattr(getattr(pager.driver, "swap", None),
+                            "slots", None)
             if slots is not None:
                 out[name] = [slot.volume.name for slot in slots]
         return out
@@ -917,7 +935,7 @@ class MissionRunner:
         domains = {}
         for name, pager in pagers:
             clients = _swap_clients(pager.driver)
-            swap = pager.driver.swap
+            swap = getattr(pager.driver, "swap", None)
             lost = getattr(swap, "lost_bloks", None)
             domains[name] = {
                 "usd_retries": sum(c.retries for c in clients),

@@ -72,7 +72,7 @@ MISSION_FIELDS = (
     _f("name", "str"),
     _f("family", "str",
        choices=("chaos", "pressure", "scale", "matrix",
-                "crash-recovery", "corruption", "smp")),
+                "crash-recovery", "corruption", "smp", "regimes")),
     _f("description", "str", default=""),
     _f("seed", "int", min=0),
     _f("smoke", "bool", default=False),
@@ -183,7 +183,7 @@ DOMAIN_KINDS = {
         _f("guaranteed_frames", "int", default=0, min=0),
         _f("extra_frames", "int", default=0, min=0),
         _f("driver_kind", "str", default="paged",
-           choices=("paged", "stream")),
+           choices=("paged", "stream", "seg")),
         _f("store", "str", default="sfs", choices=("sfs", "usbs")),
         _f("prefetch_depth", "int", default=4, min=1),
     ),
@@ -210,6 +210,25 @@ DOMAIN_KINDS = {
         _f("active_runs", "str_list", default=()),
     ),
 }
+
+#: ``[[workload.domains.stretches]]`` — extra per-stretch pager
+#: personalities for a ``pager`` domain (the multi-pager registry of
+#: :mod:`repro.regimes`). Each entry adds one stretch of ``pages``
+#: pages bound to its own ``driver``; ``priority`` declares the
+#: revocation order (lower pays first; ``-1``: registration order);
+#: ``swap_kb=0`` sizes paged kinds at four times the stretch. Only
+#: ``paged``/``forgetful`` take ``swap_kb``; ``frames`` primes the
+#: driver pool for kinds that keep one.
+STRETCH_FIELDS = (
+    _f("driver", "str",
+       choices=("paged", "forgetful", "mapped-file", "nailed",
+                "physical", "seg")),
+    _f("name", "str", default=""),
+    _f("pages", "int", default=16, min=1),
+    _f("frames", "int", default=0, min=0),
+    _f("swap_kb", "int", default=0, min=0),
+    _f("priority", "int", default=-1, min=-1),
+)
 
 # -- scenario drivers --------------------------------------------------------
 

@@ -263,14 +263,67 @@ class MissionValidator:
             if isinstance(entry, dict) and "name" not in entry:
                 raise MissionError("%s.name" % path,
                                    "required field is missing")
+            stretches = None
+            if isinstance(entry, dict) and entry.get("kind") == "pager" \
+                    and "stretches" in entry:
+                # The multi-pager list rides only on pager domains; any
+                # other kind gets the natural unknown-field error.
+                entry = dict(entry)
+                stretches = entry.pop("stretches")
             domain = _kinded_entry(entry, DOMAIN_KINDS, "kind", path)
             if domain["name"] in seen:
                 raise MissionError("%s.name" % path,
                                    "duplicate domain name %r"
                                    % domain["name"])
             seen.add(domain["name"])
+            if domain["kind"] == "pager" and stretches is not None:
+                # Attached only when declared: single-personality
+                # missions keep their historical normalised shape (the
+                # runner reads the key with a default).
+                domain["stretches"] = self._stretches(stretches, path,
+                                                      domain)
             domains.append(domain)
         return domains
+
+    def _stretches(self, raw, path, domain):
+        """The ``[[workload.domains.stretches]]`` multi-pager list."""
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise MissionError("%s.stretches" % path,
+                               "expected an array of tables")
+        specs = []
+        seen = set()
+        pinned_pages = 0
+        for index, entry in enumerate(raw):
+            spath = "%s.stretches[%d]" % (path, index)
+            spec = _section(entry, schema.STRETCH_FIELDS, spath)
+            if spec["name"]:
+                if spec["name"] in seen:
+                    raise MissionError("%s.name" % spath,
+                                       "duplicate stretch name %r"
+                                       % spec["name"])
+                seen.add(spec["name"])
+            if spec["swap_kb"] and spec["driver"] not in ("paged",
+                                                          "forgetful"):
+                raise MissionError("%s.swap_kb" % spath,
+                                   "only paged/forgetful personalities "
+                                   "take swap, not %r" % spec["driver"])
+            if spec["frames"] and spec["driver"] in ("nailed", "seg"):
+                raise MissionError("%s.frames" % spath,
+                                   "%r keeps no frame pool (it backs the "
+                                   "whole stretch)" % spec["driver"])
+            if spec["driver"] in ("nailed", "seg"):
+                pinned_pages += spec["pages"]
+            specs.append(spec)
+        if pinned_pages and domain["guaranteed_frames"] <= pinned_pages:
+            raise MissionError(
+                "%s.guaranteed_frames" % path,
+                "stretches pin %d frames (nailed/seg personalities map "
+                "whole stretches from the contract); set "
+                "guaranteed_frames above that so the main driver keeps "
+                "a working set" % pinned_pages)
+        return specs
 
     def _drivers(self, raw, domains):
         if raw is None:
@@ -412,6 +465,11 @@ class MissionValidator:
                     raise MissionError("%s.scope" % path,
                                        "names no pager domain: %r" % victim)
                 store = pagers[victim]["store"]
+                if prefix == "extent" \
+                        and pagers[victim]["driver_kind"] == "seg":
+                    raise MissionError("%s.scope" % path,
+                                       "the seg regime has no swap "
+                                       "extent to scope a rule to")
                 if prefix == "extent" and store != "sfs":
                     raise MissionError("%s.scope" % path,
                                        "extent scope needs %r on the "
@@ -494,6 +552,11 @@ class MissionValidator:
                     raise MissionError("%s.scope" % path,
                                        "names no pager domain: %r" % victim)
                 store = pagers[victim]["store"]
+                if prefix == "extent" \
+                        and pagers[victim]["driver_kind"] == "seg":
+                    raise MissionError("%s.scope" % path,
+                                       "the seg regime has no swap "
+                                       "extent to scope a rule to")
                 if prefix == "extent" and store != "sfs":
                     raise MissionError("%s.scope" % path,
                                        "extent scope needs %r on the "

@@ -27,6 +27,7 @@ from collections import deque
 from repro.hw.mmu import FaultCode
 from repro.kernel.threads import Compute, ThreadState, Wait
 from repro.mm.sdriver import FaultOutcome, FaultTimeout
+from repro.regimes.registry import PagerRegistry
 from repro.sim.units import fmt_time
 
 
@@ -60,8 +61,7 @@ class MMEntry:
         self.frames = frames_client
         self.pagetable = pagetable
         self.behavior = behavior       # optional BehaviorInjector
-        self.drivers = []              # registration order
-        self._by_sid = {}
+        self.registry = PagerRegistry()
         self._work = deque()           # queued faults / revocations
         self._work_event = None
         self.fault_timeout = fault_timeout
@@ -103,6 +103,17 @@ class MMEntry:
             "mm_fault_latency_ns",
             help="fault-taken to thread-resumed latency"
         ).child(domain=domain.name)
+        # Per-driver (and hence per-regime) fault/revocation counters:
+        # the domain-level families above stay untouched for existing
+        # dashboards; these add the ``driver`` label for separability.
+        self._f_sdriver_faults = metrics.counter(
+            "sdriver_faults_total",
+            help="faults resolved per stretch driver, by driver and "
+                 "path (fast/slow)")
+        self._f_sdriver_released = metrics.counter(
+            "sdriver_revocation_released_total",
+            help="frames arranged for revocation per stretch driver, "
+                 "by driver")
         self._fault_overrides = {}     # FaultCode -> handler(fault) -> FaultOutcome
         # Wire up the endpoints.
         domain.fault_channel.handler = self._fault_notification
@@ -119,16 +130,24 @@ class MMEntry:
 
     # -- registration --------------------------------------------------------
 
-    def register(self, driver):
-        """Track a stretch driver for revocation cycling."""
-        if driver not in self.drivers:
-            self.drivers.append(driver)
+    @property
+    def drivers(self):
+        """Registered stretch drivers, in registration order."""
+        return self.registry.drivers
 
-    def bind(self, stretch, driver):
+    def register(self, driver, priority=None):
+        """Track a stretch driver for revocation cycling.
+
+        ``priority`` (optional int) declares where the driver sits in
+        the revocation order: lower asked first. Unprioritised drivers
+        keep the historical registration-order behaviour.
+        """
+        self.registry.register(driver, priority=priority)
+
+    def bind(self, stretch, driver, priority=None):
         """Bind a stretch to a driver and index it for fault demux."""
         driver.bind(stretch)
-        self.register(driver)
-        self._by_sid[stretch.sid] = driver
+        self.registry.bind(stretch, driver, priority=priority)
         return stretch
 
     def driver_for_va(self, va):
@@ -136,7 +155,7 @@ class MMEntry:
         pte = self.pagetable.peek(self.domain.kernel.machine.page_of(va))
         if pte is None:
             return None
-        return self._by_sid.get(pte.sid)
+        return self.registry.driver_for_sid(pte.sid)
 
     # -- notification handlers (activation-handler context!) --------------------
 
@@ -186,6 +205,7 @@ class MMEntry:
         self.meter.charge("sdriver_fast")
         outcome = driver.try_fast(fault)
         if outcome is FaultOutcome.SUCCESS:
+            self._f_sdriver_faults.inc(driver=driver.name, path="fast")
             self._resolved_fast(fault)
         elif outcome is FaultOutcome.RETRY:
             self.meter.charge("thread_block")
@@ -245,6 +265,9 @@ class MMEntry:
                     if ok:
                         self.slow_resolved += 1
                         self._c_slow.inc()
+                        if driver is not None:
+                            self._f_sdriver_faults.inc(driver=driver.name,
+                                                       path="slow")
                         self._h_latency.observe(self.sim.now - payload.time)
                         self.domain.resume_thread(payload.thread)
                     else:
@@ -310,12 +333,17 @@ class MMEntry:
                                       client=self.domain.name, k=want)
         pageouts_before = sum(getattr(d, "pageouts", 0)
                               for d in self.drivers)
-        for driver in self.drivers:
+        # "Cycles through each stretch driver" — in *declared* priority
+        # order, so a multi-pager domain decides which personality pays
+        # first (forgetful caches before nailed regions).
+        for driver in self.registry.in_priority_order():
             if remaining <= 0:
                 break
             arranged = yield from driver.release_frames(
                 remaining, deadline=request.deadline)
             remaining -= arranged
+            if arranged:
+                self._f_sdriver_released.inc(arranged, driver=driver.name)
         cleaned = sum(getattr(d, "pageouts", 0)
                       for d in self.drivers) - pageouts_before
         if cleaned:

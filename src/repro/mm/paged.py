@@ -128,61 +128,74 @@ class PagedDriver(StretchDriver):
         if vpn in self.unrecoverable:
             return False                  # page lost to a bad block
         self.faults_slow += 1
-        pte = self.translation.pagetable.peek(vpn)
-        if pte is not None and pte.mapped:
-            return True  # already resolved (e.g. by a prefetcher)
-        pfn = self._pop_free()
-        if pfn is None:
-            pfn = yield from self._evict_one()
-        if pfn is None:
-            # Last resort: ask the allocator for more physical memory.
-            granted = yield Wait(self.frames.request_frames(1))
-            if not granted:
-                return False
-            self.adopt_frames(granted)
+        while True:
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is not None and pte.mapped:
+                return True  # already resolved (e.g. by a prefetcher)
             pfn = self._pop_free()
             if pfn is None:
-                return False
-        if self._has_disk_copy(vpn):
-            blok = self._on_disk[vpn]
-            try:
-                yield Wait(self._swap_slot(blok, READ))
-                yield Wait(self.swap.read(blok))
-            except (TransactionFailed, BlokLostError, CorruptDataError):
-                # Persistent read failure: the only copy of this page
-                # sat on a bad block (or on a volume that failed before
-                # the drain reached it, or its payload failed
-                # verification beyond repair). Contain the loss —
-                # retire the blok, mark just this page unrecoverable,
-                # give the frame back — and fail the fault (the MMEntry
-                # kills only the faulting thread).
-                self.note_io_failure()
-                self._retire_blok(vpn)
-                self.unrecoverable.add(vpn)
-                self.pages_lost += 1
+                pfn = yield from self._evict_one()
+            if pfn is None:
+                # Last resort: ask the allocator for more physical
+                # memory.
+                granted = yield Wait(self.frames.request_frames(1))
+                if not granted:
+                    return False
+                self.adopt_frames(granted)
+                pfn = self._pop_free()
+                if pfn is None:
+                    return False
+            if self._has_disk_copy(vpn):
+                blok = self._on_disk[vpn]
+                try:
+                    yield Wait(self._swap_slot(blok, READ))
+                    yield Wait(self.swap.read(blok))
+                except (TransactionFailed, BlokLostError,
+                        CorruptDataError):
+                    # Persistent read failure: the only copy of this
+                    # page sat on a bad block (or on a volume that
+                    # failed before the drain reached it, or its
+                    # payload failed verification beyond repair).
+                    # Contain the loss — retire the blok, mark just
+                    # this page unrecoverable, give the frame back —
+                    # and fail the fault (the MMEntry kills only the
+                    # faulting thread).
+                    self.note_io_failure()
+                    self._retire_blok(vpn)
+                    self.unrecoverable.add(vpn)
+                    self.pages_lost += 1
+                    self._free.append(pfn)
+                    return False
+                except FaultTimeout:
+                    # Watchdog unwedged us mid-IO: recover the frame,
+                    # let the MMEntry account the kill.
+                    self._free.append(pfn)
+                    raise
+                if not self.frames.owns_unused(pfn):
+                    # Revoked out from under us while the read was in
+                    # flight — an unused frame is fair game for
+                    # transparent revocation at any instant. The read
+                    # is wasted; acquire another frame and retry (the
+                    # MMEntry watchdog bounds the loop).
+                    continue
+                self.pageins += 1
+                self._note_paged_in(vpn)
+            else:
+                yield Compute(self.translation.meter.model["zero_page"],
+                              label="zero")
+                if not self.frames.owns_unused(pfn):
+                    continue   # revoked mid-zero: retry with a new frame
+                self.zero_fills += 1
+                self._note_dirtied_or_zeroed(vpn)
+            # A concurrent prefetcher may have mapped the page while our
+            # IO was in flight; the frame simply returns to the pool.
+            pte = self.translation.pagetable.peek(vpn)
+            if pte is not None and pte.mapped:
                 self._free.append(pfn)
-                return False
-            except FaultTimeout:
-                # Watchdog unwedged us mid-IO: recover the frame, let
-                # the MMEntry account the kill.
-                self._free.append(pfn)
-                raise
-            self.pageins += 1
-            self._note_paged_in(vpn)
-        else:
-            yield Compute(self.translation.meter.model["zero_page"],
-                          label="zero")
-            self.zero_fills += 1
-            self._note_dirtied_or_zeroed(vpn)
-        # A concurrent prefetcher may have mapped the page while our IO
-        # was in flight; the frame simply returns to the pool.
-        pte = self.translation.pagetable.peek(vpn)
-        if pte is not None and pte.mapped:
-            self._free.append(pfn)
+                return True
+            self._map_page(fault.va, pfn)
+            self._resident.append(vpn)
             return True
-        self._map_page(fault.va, pfn)
-        self._resident.append(vpn)
-        return True
 
     # -- eviction ------------------------------------------------------------------
 

@@ -48,6 +48,10 @@ class TranslationSystem:
         self.mmu = mmu
         self.ramtab = ramtab
         self.meter = meter
+        # Optional segmentation regime (repro.regimes.attach_seg): the
+        # extent registry shared with the MMU. None by default — the
+        # extent syscalls below refuse until a regime is attached.
+        self.seg = None
 
     # ------------------------------------------------------------------
     # High-level interface (system domain only)
@@ -67,8 +71,12 @@ class TranslationSystem:
         """Tear down the entries of a destroyed stretch.
 
         Any frames still mapped must have been unmapped by the owner
-        first; we enforce that rather than leak RamTab state.
+        first; we enforce that rather than leak RamTab state. A live
+        segment extent counts as mapped for the same reason.
         """
+        if self.seg is not None and self.seg.extent_of(stretch.sid) is not None:
+            raise MappingError(
+                "stretch %d still has a live extent" % stretch.sid)
         for vpn in range(stretch.base_vpn, stretch.base_vpn + stretch.npages):
             pte = self.pagetable.peek(vpn)
             if pte is not None and pte.mapped:
@@ -90,6 +98,11 @@ class TranslationSystem:
         vpn = self.ramtab.mapped_vpn(pfn)
         if vpn is None:
             return
+        if self.seg is not None and self.seg.extents:
+            # Truncate any extent covering the reclaimed page; the
+            # pages after it are reclaimed by their own calls (kill
+            # walks the domain's frames in ascending PFN order).
+            self.seg.forget_page(vpn)
         pte = self.pagetable.peek(vpn)
         if pte is not None:
             pte.make_null()
@@ -152,6 +165,98 @@ class TranslationSystem:
         self.ramtab.set_unused(pfn)
         self.mmu.invalidate(vpn)
         return pfn, was_dirty
+
+    # ------------------------------------------------------------------
+    # Segment-extent syscalls (repro.regimes; validated like map/unmap)
+    # ------------------------------------------------------------------
+
+    def map_extent(self, caller, stretch, pfns):
+        """Install (or grow) a base+limit extent over ``pfns``.
+
+        The segmentation analogue of :meth:`map`: the caller must hold
+        the meta right on the stretch and own every frame, but the
+        whole run is validated under *one* syscall and *one* PTE-write
+        analogue (the base+limit register install) — that single
+        charge, against per-page ``map`` calls, is exactly what the
+        regimes ablation measures. ``pfns`` must be a contiguous
+        ascending run; a grow must start at the current extent tail.
+        """
+        if self.seg is None:
+            raise MappingError("no segmentation regime attached")
+        if not pfns:
+            raise MappingError("empty extent")
+        for left, right in zip(pfns, pfns[1:]):
+            if right != left + 1:
+                raise MappingError("extent frames are not contiguous")
+        self.meter.charge("pal_syscall")
+        base_va = self.machine.page_base(stretch.base_vpn)
+        self._pte_checked(caller, base_va)
+        extent = self.seg.extent_of(stretch.sid)
+        if extent is None:
+            start = 0
+            if len(pfns) > stretch.npages:
+                raise MappingError("extent larger than stretch")
+        else:
+            start = extent.limit
+            if pfns[0] != extent.base_pfn + extent.limit:
+                raise MappingError("grow must start at the extent tail")
+            if extent.limit + len(pfns) > stretch.npages:
+                raise MappingError("extent would exceed the stretch")
+        self.meter.charge("ramtab_check")
+        for pfn in pfns:
+            self.ramtab.validate_mappable(pfn, caller)
+        self.meter.charge("pte_write")
+        for offset, pfn in enumerate(pfns):
+            self.ramtab.set_mapped(pfn, stretch.base_vpn + start + offset)
+        if extent is None:
+            from repro.regimes.seg import SegExtent
+
+            self.seg.register(SegExtent(stretch.sid, caller,
+                                        stretch.base_vpn, pfns[0],
+                                        len(pfns)))
+        else:
+            extent.limit += len(pfns)
+        self.meter.charge("tlb_invalidate")
+
+    def shrink_extent(self, caller, stretch, count):
+        """Shrink the stretch's extent by ``count`` pages from the tail.
+
+        The revocation path of the segmentation regime: like the grow,
+        one syscall and one limit-register update cover the whole run.
+        Returns the freed PFNs (now unused in the RamTab, ready for
+        ``stack.move_to_top``); the extent disappears when its limit
+        reaches zero.
+        """
+        if self.seg is None:
+            raise MappingError("no segmentation regime attached")
+        self.meter.charge("pal_syscall")
+        base_va = self.machine.page_base(stretch.base_vpn)
+        self._pte_checked(caller, base_va)
+        extent = self.seg.extent_of(stretch.sid)
+        if extent is None:
+            return []
+        take = min(count, extent.limit)
+        if take <= 0:
+            return []
+        self.meter.charge("ramtab_check")
+        freed = []
+        for _ in range(take):
+            extent.limit -= 1
+            freed.append(extent.base_pfn + extent.limit)
+            self.ramtab.set_unused(extent.base_pfn + extent.limit)
+        self.meter.charge("pte_write")
+        self.seg.shrinks += 1
+        if extent.limit == 0:
+            self.seg.remove(stretch.sid)
+        self.meter.charge("tlb_invalidate")
+        return freed
+
+    def unmap_extent(self, caller, stretch):
+        """Tear down the stretch's whole extent; returns the freed PFNs."""
+        extent = None if self.seg is None else self.seg.extent_of(stretch.sid)
+        if extent is None:
+            return []
+        return self.shrink_extent(caller, stretch, extent.limit)
 
     def page_info(self, va):
         """Read the software dirty/referenced bits of a page.

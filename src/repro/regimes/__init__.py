@@ -1,0 +1,35 @@
+"""Alternative memory regimes: pluggable translation + pager mixes.
+
+The paper's §6.6 argument is that stretch drivers are *unprivileged
+and pluggable*: any domain may implement any paging policy it likes,
+and the system only enforces ownership and accountability. This
+subsystem takes that argument to its logical end and turns the
+reproduction into an **ablation platform** — same workloads, same
+self-paging invariants, swappable memory regime:
+
+* :class:`~repro.regimes.seg.SegDriver` +
+  :class:`~repro.regimes.seg.SegTranslation` — a segmentation-style
+  regime (after Teabe et al., "segmentation is better than paging"):
+  a whole stretch is backed by one physically contiguous frame extent
+  and translated by a single base+limit entry instead of per-page
+  mappings. First touch maps the entire extent in one validated
+  syscall; revocation shrinks the extent from its tail through the
+  ordinary ``release_frames`` contract.
+
+* :class:`~repro.regimes.registry.PagerRegistry` — the per-stretch
+  pager registry (after Klimiankou's multi-pager environments): one
+  domain runs several pager personalities at once (paged +
+  mapped-file + nailed + seg), faults demultiplexed by stretch
+  ownership and revocation walking the registered drivers in declared
+  priority order. All costs stay on the owning domain's contract.
+
+``repro.exp regimes`` is the ablation experiment built on these two:
+Table-1-style fault-resolution cost seg vs paged, fig7-style
+bandwidth under both regimes, and a three-pager domain held
+accountable under revocation pressure.
+"""
+
+from repro.regimes.registry import PagerRegistry
+from repro.regimes.seg import SegDriver, SegExtent, SegTranslation
+
+__all__ = ["PagerRegistry", "SegDriver", "SegExtent", "SegTranslation"]

@@ -75,9 +75,14 @@ class App:
         self.stretches.append(stretch)
         return stretch
 
-    def bind(self, stretch, driver):
-        """Bind a stretch to a driver through the MMEntry."""
-        return self.mmentry.bind(stretch, driver)
+    def bind(self, stretch, driver, priority=None):
+        """Bind a stretch to a driver through the MMEntry.
+
+        ``priority`` (optional int, lower pays first) declares where
+        the driver sits in the domain's revocation order — the
+        multi-pager knob of the regimes subsystem.
+        """
+        return self.mmentry.bind(stretch, driver, priority=priority)
 
     def take_guaranteed_frames(self):
         """The §6.2 idiom: time-sensitive apps grab every guaranteed
@@ -98,6 +103,21 @@ class App:
     def nailed_driver(self, name=None):
         driver = NailedDriver(name or "%s-nailed" % self.name, self.domain,
                               self.frames, self.system.translation)
+        self.drivers.append(driver)
+        return driver
+
+    def seg_driver(self, name=None):
+        """A segmentation-regime driver (see :mod:`repro.regimes`).
+
+        Backs each bound stretch with one contiguous frame extent and
+        a base+limit translation entry instead of per-page mappings.
+        Attaches the system-wide :class:`SegTranslation` on first use.
+        """
+        from repro.regimes.seg import SegDriver
+
+        self.system.ensure_seg_translation()
+        driver = SegDriver(name or "%s-seg" % self.name, self.domain,
+                           self.frames, self.system.translation)
         self.drivers.append(driver)
         return driver
 
@@ -193,6 +213,56 @@ class App:
             driver.provide_frames(frames)
         self.drivers.append(driver)
         return driver
+
+    def build_drivers(self, specs):
+        """Build a multi-pager personality mix from declarative specs.
+
+        Each spec is a dict with a ``kind`` (``physical`` / ``nailed``
+        / ``paged`` / ``forgetful`` / ``clock`` / ``stream`` / ``mmap``
+        / ``seg``) plus the factory kwargs for that kind, and two
+        registry knobs: ``priority`` (revocation order, lower pays
+        first) and ``pages`` (when set, a fresh stretch of that many
+        pages is created and bound to the driver). Returns a list of
+        ``(driver, stretch_or_None)`` pairs in spec order — the
+        :class:`~repro.regimes.registry.PagerRegistry` wiring for one
+        domain running several pager personalities at once.
+        """
+        built = []
+        page_size = self.system.machine.page_size
+        for spec in specs:
+            spec = dict(spec)
+            kind = spec.pop("kind")
+            priority = spec.pop("priority", None)
+            pages = spec.pop("pages", None)
+            if kind == "physical":
+                driver = self.physical_driver(**spec)
+            elif kind == "nailed":
+                driver = self.nailed_driver(**spec)
+            elif kind == "seg":
+                driver = self.seg_driver(**spec)
+            elif kind in ("paged", "forgetful", "clock"):
+                if kind == "forgetful":
+                    spec["forgetful"] = True
+                elif kind == "clock":
+                    spec["policy"] = "clock"
+                driver = self.paged_driver(**spec)
+            elif kind == "stream":
+                driver = self.stream_driver(**spec)
+            elif kind == "mmap":
+                file_name = spec.pop("file_name", None)
+                if file_name is not None:
+                    spec["file"] = self.system.filesystem.open(file_name)
+                driver = self.mmap_driver(**spec)
+            else:
+                raise ValueError("unknown driver kind %r" % kind)
+            stretch = None
+            if pages:
+                stretch = self.new_stretch(pages * page_size)
+                self.bind(stretch, driver, priority=priority)
+            elif priority is not None:
+                self.mmentry.register(driver, priority=priority)
+            built.append((driver, stretch))
+        return built
 
     # -- threads -----------------------------------------------------------------
 
@@ -467,15 +537,33 @@ class NemesisSystem:
             app.mmentry.behavior = self.behavior_injector
         return self.behavior_injector
 
+    def ensure_seg_translation(self):
+        """Attach the segmentation regime (idempotent); returns it.
+
+        Systems that never call this keep ``translation.seg`` /
+        ``mmu.seg`` as ``None``, so the classic per-page walk stays
+        bit-identical — the regimes ablation depends on that.
+        """
+        from repro.regimes.seg import attach_seg
+
+        return attach_seg(self.translation)
+
     def new_app(self, name, guaranteed_frames, extra_frames=0,
-                cpu_qos=None):
-        """Create a self-paging application domain with its contract."""
+                cpu_qos=None, drivers=None):
+        """Create a self-paging application domain with its contract.
+
+        ``drivers`` (optional) is a list of declarative driver specs
+        handed to :meth:`App.build_drivers` — the one-call way to give
+        a domain a multi-pager personality mix.
+        """
         protdom = ProtectionDomain(self.meter, name="%s-pd" % name)
         domain = self.kernel.create_domain(name, protdom, cpu_qos=cpu_qos)
         client = self.frames_allocator.admit(domain, guaranteed_frames,
                                              extra_frames)
         app = App(self, domain, client)
         self.apps.append(app)
+        if drivers:
+            app.build_drivers(drivers)
         return app
 
     # -- running ---------------------------------------------------------------
